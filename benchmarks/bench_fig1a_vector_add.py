@@ -1,0 +1,63 @@
+"""Figure 1(a): ciphertext vector addition across batch sizes.
+
+Regenerates the paper's execution-time series for CPU / PIM / CPU-SEAL
+/ GPU at 128-bit coefficients (plus the 32-/64-bit variants the text
+discusses), asserts the reported speedup bands, and benchmarks the real
+limb-level addition kernel this figure's PIM bars are made of.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.report import measured_ratio_range
+from repro.pim.kernels import VecAddKernel
+from repro.poly.modring import find_ntt_prime
+
+Q109 = find_ntt_prime(109, 4096)
+
+
+def test_fig1a_regenerate_table(benchmark, regenerate):
+    rows = benchmark.pedantic(
+        regenerate, args=("fig1a",), iterations=1, rounds=3
+    )
+    assert [row.x for row in rows] == [20480, 40960, 81920, 163840, 327680]
+    # Paper Section 4.2: PIM over CPU 20-150x, SEAL 35-80x, GPU 15-50x.
+    lo, hi = measured_ratio_range(rows, "pim", "cpu")
+    assert 20 <= lo and hi <= 150
+    lo, hi = measured_ratio_range(rows, "pim", "cpu-seal")
+    assert 35 <= lo and hi <= 80
+    lo, hi = measured_ratio_range(rows, "pim", "gpu")
+    assert 15 <= lo and hi <= 50
+
+
+@pytest.mark.parametrize("suffix", ["_32bit", "_64bit"])
+def test_fig1a_width_variants(benchmark, regenerate, suffix):
+    """Section 4.2: 'the trends are the same for 32-bit and 64-bit'."""
+    rows = benchmark.pedantic(
+        regenerate, args=(f"fig1a{suffix}",), iterations=1, rounds=1
+    )
+    for row in rows:
+        assert row.series["pim"] < min(
+            row.series["cpu"], row.series["cpu-seal"], row.series["gpu"]
+        )
+
+
+def test_bench_vecadd_kernel_128bit(benchmark):
+    """Real limb arithmetic: the 128-bit add+reduce inner loop."""
+    kernel = VecAddKernel(4, Q109)
+    rng = np.random.default_rng(1)
+    elements = [kernel.random_element(rng) for _ in range(512)]
+
+    def run():
+        outputs, tally = kernel.execute(elements)
+        return outputs[-1], tally.total()
+
+    value, ops = benchmark(run)
+    assert ops > 0
+
+
+def test_bench_vecadd_kernel_32bit(benchmark):
+    kernel = VecAddKernel(1, find_ntt_prime(27, 1024))
+    rng = np.random.default_rng(2)
+    elements = [kernel.random_element(rng) for _ in range(512)]
+    benchmark(lambda: kernel.execute(elements))

@@ -1,0 +1,54 @@
+"""Figure 1(b): ciphertext vector multiplication across batch sizes.
+
+Regenerates the paper's multiplication series — where the PIM system
+loses to the GPU and (at 64/128 bits) to CPU-SEAL for lack of a native
+multiplier — and benchmarks the real software shift-and-add + Karatsuba
+kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.report import measured_ratio_range
+from repro.pim.kernels import VecMulKernel
+
+
+def test_fig1b_regenerate_table(benchmark, regenerate):
+    rows = benchmark.pedantic(
+        regenerate, args=("fig1b",), iterations=1, rounds=3
+    )
+    assert [row.x for row in rows] == [5120, 10240, 20480, 40960, 81920]
+    # Paper Section 4.2 bands (model bands per repro.harness.paper).
+    lo, hi = measured_ratio_range(rows, "pim", "cpu")
+    assert 30 <= lo and hi <= 50  # paper: 40-50x
+    lo, hi = measured_ratio_range(rows, "gpu", "pim")
+    assert 12 <= lo and hi <= 19  # paper: 12-15x
+    lo, hi = measured_ratio_range(rows, "cpu-seal", "pim")
+    assert 1.8 <= lo and hi <= 4  # paper: 2-4x
+
+
+def test_fig1b_32bit_pim_beats_seal(benchmark, regenerate):
+    """Paper: 'outperforms ... CPU-SEAL for 32 bits by 2x'."""
+    rows = benchmark.pedantic(
+        regenerate, args=("fig1b_32bit",), iterations=1, rounds=1
+    )
+    lo, hi = measured_ratio_range(rows, "pim", "cpu-seal")
+    assert lo > 1.0 and hi < 3.0
+
+
+def test_fig1b_64bit_trends(benchmark, regenerate):
+    rows = benchmark.pedantic(
+        regenerate, args=("fig1b_64bit",), iterations=1, rounds=1
+    )
+    for row in rows:
+        assert row.series["pim"] < row.series["cpu"]  # beats custom CPU
+        assert row.series["pim"] > row.series["gpu"]  # loses to GPU
+
+
+@pytest.mark.parametrize("limbs,label", [(1, "32bit"), (2, "64bit"), (4, "128bit")])
+def test_bench_vecmul_kernel(benchmark, limbs, label):
+    """Real software multiplication at each container width."""
+    kernel = VecMulKernel(limbs)
+    rng = np.random.default_rng(3)
+    elements = [kernel.random_element(rng) for _ in range(128)]
+    benchmark(lambda: kernel.execute(elements))

@@ -1,0 +1,43 @@
+"""Observation 1: PIM performance saturates at 11 or more tasklets."""
+
+import pytest
+
+from repro.pim.kernels import VecMulKernel
+from repro.pim.runtime import PIMRuntime
+
+
+def test_obs_tasklets_regenerate(benchmark, regenerate):
+    rows = benchmark.pedantic(
+        regenerate, args=("obs_tasklets",), iterations=1, rounds=3
+    )
+    by_tasklets = {row.x: row.series for row in rows}
+    # The compute-bound multiply saturates exactly at the 11-deep
+    # pipeline revolve; more tasklets change nothing.
+    assert by_tasklets[11]["pim mul"] == pytest.approx(
+        by_tasklets[24]["pim mul"], rel=1e-3
+    )
+    assert by_tasklets[1]["pim mul"] / by_tasklets[11]["pim mul"] == pytest.approx(
+        11.0, rel=0.01
+    )
+    # Monotone non-increasing throughout for both kernels.
+    xs = sorted(by_tasklets)
+    for series in ("pim add", "pim mul"):
+        times = [by_tasklets[x][series] for x in xs]
+        assert all(a >= b * 0.999 for a, b in zip(times, times[1:]))
+
+
+def test_bench_tasklet_sweep_model(benchmark):
+    """Wall-time of the whole tasklet sweep (model evaluation)."""
+    runtime = PIMRuntime()
+    kernel = VecMulKernel(4)
+
+    def sweep():
+        return [
+            runtime.time_kernel(
+                kernel, 8192 * 1024, work_units=1024, tasklets=t
+            ).kernel_seconds
+            for t in range(1, 25)
+        ]
+
+    times = benchmark(sweep)
+    assert len(times) == 24

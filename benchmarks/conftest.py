@@ -1,0 +1,61 @@
+"""Benchmark-suite fixtures.
+
+Each ``bench_*`` module does two things:
+
+* regenerates one paper table/figure through the experiment harness
+  (the regeneration itself is benchmarked — it is pure deterministic
+  model evaluation — and the formatted table is written to
+  ``benchmarks/results/<experiment>.txt`` as a tangible artifact);
+* benchmarks the *real* computation underlying that figure (limb
+  kernels, NTTs, BFV primitives) so ``pytest benchmarks/
+  --benchmark-only`` also reports genuine wall-clock numbers for this
+  Python implementation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.experiments import get_experiment
+from repro.harness.report import format_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def regenerate():
+    """Run an experiment, persist its table, return its rows."""
+
+    def _regenerate(experiment_id: str):
+        experiment = get_experiment(experiment_id)
+        rows = experiment.run()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(
+            format_experiment(experiment, rows) + "\n"
+        )
+        return rows
+
+    return _regenerate
+
+
+@pytest.fixture(scope="session")
+def tiny_crypto():
+    """A small, fast BFV context for real-arithmetic benchmarks."""
+    from repro.core.params import BFVParameters
+    from repro.poly.modring import find_ntt_prime
+    from repro.workloads.context import WorkloadContext
+
+    params = BFVParameters(
+        poly_degree=64,
+        coeff_modulus=find_ntt_prime(60, 64),
+        plain_modulus=257,
+    )
+    return WorkloadContext.from_params(params, seed=1)

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Platform comparison: regenerate the paper's headline figures.
+
+Prints the modelled execution-time tables for Figure 1 (vector
+addition/multiplication) and Figure 2 (mean, variance, linear
+regression) across the four platforms — UPMEM PIM, custom CPU,
+CPU-SEAL, and A100 GPU — with the paper's reported speedup bands next
+to this model's measured ratios.
+
+Run:  python examples/platform_comparison.py
+"""
+
+from repro.backends import available_backends, get_backend
+from repro.harness.experiments import get_experiment
+from repro.harness.report import format_experiment
+
+
+def main() -> None:
+    print("Modelled platforms:")
+    for name in available_backends():
+        print(f"  {name:8s} {get_backend(name).describe()}")
+    print()
+
+    for eid in ("fig1a", "fig1b", "fig2a", "fig2b", "fig2c"):
+        experiment = get_experiment(eid)
+        print(format_experiment(experiment, experiment.run()))
+        print()
+
+    print(
+        "Key takeaways reproduced:\n"
+        "  1. PIM wins homomorphic *addition* everywhere (native 32-bit\n"
+        "     add/addc across 2,524 cores).\n"
+        "  2. PIM loses *multiplication* to the GPU and (at 64/128 bits)\n"
+        "     to CPU-SEAL — no multiplier wider than 8 bits in hardware.\n"
+        "  3. PIM time stays flat as users grow: work maps to more DPUs\n"
+        "     (memory-capacity-proportional performance).\n"
+        "Run `repro-experiments run abl_native_mul` for the future-\n"
+        "hardware what-if the paper's Key Takeaway 2 describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Backend interface: uniform operation requests and timing results.
+
+A workload describes its device work as a sequence of **operation
+requests** — element-wise jobs over wide-integer containers — and every
+backend prices the same sequence. The op vocabulary matches the device
+kernels (:mod:`repro.pim.kernels`), which are the granularity at which
+the paper's implementation issues work:
+
+=============  ==============================================================
+``vec_add``    element-wise modular addition (homomorphic addition's loop)
+``vec_mul``    element-wise wide multiplication (multiplication's loop)
+``tensor_mul`` per-coefficient ciphertext tensor product (4 muls + 1 add)
+``reduce_sum`` many-to-one modular accumulation (mean's loop)
+=============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+#: Operation names backends must support.
+SUPPORTED_OPS = frozenset({"vec_add", "vec_mul", "tensor_mul", "reduce_sum"})
+
+#: Container widths the paper evaluates (Section 3).
+SUPPORTED_WIDTHS = (32, 64, 128)
+
+
+@dataclass(frozen=True)
+class OpRequest:
+    """One element-wise device job.
+
+    Attributes:
+        op: operation name (see :data:`SUPPORTED_OPS`).
+        width_bits: container width per element (32, 64, or 128).
+        n_elements: number of scalar elements processed.
+        work_units: indivisible chunks the elements arrive in
+            (ciphertexts / user bundles); bounds PIM's DPU fan-out.
+            Defaults to ``n_elements`` (fully divisible).
+        launches: dependent kernel rounds this job needs (each pays the
+            platform's fixed launch overhead).
+        op_dispatches: number of *logical homomorphic operations* this
+            request batches (e.g. one per user's ciphertext addition in
+            the mean workload). The paper's PIM kernels stream the
+            whole batch in one launch, so the PIM backend ignores this;
+            the baselines dispatch per homomorphic operation (an
+            evaluator call / CUDA kernel each) and pay a per-dispatch
+            overhead — the second mechanism, after raw bandwidth,
+            behind the paper's Figure 2 gaps.
+    """
+
+    op: str
+    width_bits: int
+    n_elements: int
+    work_units: int | None = None
+    launches: int = 1
+    op_dispatches: int = 1
+
+    def __post_init__(self):
+        if self.op not in SUPPORTED_OPS:
+            raise ParameterError(
+                f"unknown op {self.op!r}; supported: {sorted(SUPPORTED_OPS)}"
+            )
+        if self.width_bits not in SUPPORTED_WIDTHS:
+            raise ParameterError(
+                f"width_bits must be one of {SUPPORTED_WIDTHS}: "
+                f"{self.width_bits}"
+            )
+        if self.n_elements <= 0:
+            raise ParameterError(
+                f"n_elements must be positive: {self.n_elements}"
+            )
+        if self.work_units is not None and not (
+            1 <= self.work_units <= self.n_elements
+        ):
+            raise ParameterError(
+                f"work_units must be in [1, n_elements]: {self.work_units}"
+            )
+        if self.launches <= 0:
+            raise ParameterError(f"launches must be positive: {self.launches}")
+        if self.op_dispatches <= 0:
+            raise ParameterError(
+                f"op_dispatches must be positive: {self.op_dispatches}"
+            )
+
+    @property
+    def limbs(self) -> int:
+        """32-bit limbs per element."""
+        return self.width_bits // 32
+
+    @property
+    def container_bytes(self) -> int:
+        """Bytes of one element's container."""
+        return self.width_bits // 8
+
+    @property
+    def effective_work_units(self) -> int:
+        return self.work_units if self.work_units is not None else self.n_elements
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """A backend's answer for one request."""
+
+    backend: str
+    op: str
+    seconds: float
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def ms(self) -> float:
+        return self.seconds * 1e3
+
+
+class Backend(abc.ABC):
+    """A platform that can price element-wise operation requests."""
+
+    #: Short registry name ("pim", "cpu", "cpu-seal", "gpu").
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def time_op(self, request: OpRequest) -> TimingBreakdown:
+        """Modelled execution time for one request."""
+
+    def time_ops(self, requests) -> float:
+        """Total seconds for a sequence of (dependent) requests."""
+        return sum(self.time_op(r).seconds for r in requests)
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line platform summary for reports."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,95 @@
+"""Energy model: joules per workload across the four platforms.
+
+The paper motivates PIM partly through energy: "GPUs suffer from high
+power consumption for homomorphic operations" (Section 5, citing
+CryptGPU). This module adds the standard first-order energy model —
+``energy = active power x modelled time`` — with documented power
+envelopes, plus PIM's energy-proportionality: only engaged DPUs draw
+active power.
+
+Power provenance:
+
+* **UPMEM**: ~1.2 W per 8-DPU PIM chip under load (UPMEM's published
+  figures / the PrIM energy characterization [38]); 2,524 DPUs = ~316
+  chips = ~379 W for the full PIM subsystem.
+* **CPU**: Intel ARK TDP for the i5-8250U is 15 W; add ~5 W for the
+  DDR4 DIMMs it streams from.
+* **GPU**: A100 PCIe TDP 250 W (whitepaper [96]).
+
+These are envelope estimates — the paper reports no energy numbers, so
+there is no band to calibrate against; the experiment (``ext_energy``)
+is an *extension* quantifying the Section 5 claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backends.base import Backend, OpRequest
+from repro.errors import ParameterError
+
+#: Active power per DPU (1.2 W per 8-DPU chip).
+PIM_WATTS_PER_DPU = 1.2 / 8
+
+#: CPU package TDP plus DRAM stream power.
+CPU_WATTS = 15.0 + 5.0
+
+#: A100 PCIe board power.
+GPU_WATTS = 250.0
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy of one request on one backend."""
+
+    backend: str
+    seconds: float
+    watts: float
+
+    @property
+    def joules(self) -> float:
+        return self.seconds * self.watts
+
+    @property
+    def millijoules(self) -> float:
+        return self.joules * 1e3
+
+
+def active_watts(backend: Backend, request: OpRequest) -> float:
+    """Active power a backend draws while serving ``request``.
+
+    PIM power scales with the engaged DPUs (memory-capacity-
+    proportional compute also means workload-proportional power); the
+    processor-centric platforms burn their full envelope regardless of
+    utilization — the asymmetry the energy experiment quantifies.
+    """
+    name = backend.name
+    if name == "pim":
+        timing = backend.time_op(request)
+        dpus = timing.detail.get("dpus_used")
+        if not dpus:
+            raise ParameterError("PIM timing did not report dpus_used")
+        return PIM_WATTS_PER_DPU * dpus
+    if name in ("cpu", "cpu-seal"):
+        return CPU_WATTS
+    if name == "gpu":
+        return GPU_WATTS
+    raise ParameterError(f"no power model for backend {name!r}")
+
+
+def estimate_energy(backend: Backend, request: OpRequest) -> EnergyEstimate:
+    """First-order energy of one request: active power x modelled time."""
+    seconds = backend.time_op(request).seconds
+    return EnergyEstimate(
+        backend=backend.name,
+        seconds=seconds,
+        watts=active_watts(backend, request),
+    )
+
+
+def workload_energy(backend: Backend, workload) -> float:
+    """Total joules of a workload's device requests on a backend."""
+    return sum(
+        estimate_energy(backend, request).joules
+        for request in workload.device_requests()
+    )

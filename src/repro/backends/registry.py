@@ -1,0 +1,44 @@
+"""Backend registry: name -> backend instance.
+
+The four names match the paper's figure legends: ``pim``, ``cpu``
+(custom implementation), ``cpu-seal``, and ``gpu``.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend
+from repro.backends.cpu import CustomCPUBackend
+from repro.backends.cpu_seal import SEALBackend
+from repro.backends.gpu import GPUBackend
+from repro.backends.pim import PIMBackend
+from repro.errors import ParameterError
+
+_FACTORIES = {
+    "pim": PIMBackend,
+    "cpu": CustomCPUBackend,
+    "cpu-seal": SEALBackend,
+    "gpu": GPUBackend,
+}
+
+#: The paper's platform order, used by reports.
+BACKEND_ORDER = ("cpu", "pim", "cpu-seal", "gpu")
+
+
+def available_backends() -> tuple:
+    """Names of all registered backends, in the paper's legend order."""
+    return BACKEND_ORDER
+
+
+def get_backend(name: str, **kwargs) -> Backend:
+    """Instantiate a backend by its registry name.
+
+    >>> get_backend("pim").name
+    'pim'
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown backend {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,57 @@
+"""The BFV somewhat-homomorphic encryption scheme (paper Section 3).
+
+This package is the paper's primary workload: the
+Brakerski–Fan–Vercauteren scheme restricted to the operations the paper
+implements — encryption, decryption, homomorphic addition, and
+homomorphic multiplication with relinearization — at the paper's three
+security levels (27-, 54-, and 109-bit, Section 3/4.1).
+
+Typical round trip::
+
+    from repro.core import (
+        BFVParameters, KeyGenerator, Encryptor, Decryptor, Evaluator,
+        BatchEncoder,
+    )
+
+    params = BFVParameters.security_level(109)
+    keys = KeyGenerator(params, seed=7).generate()
+    encoder = BatchEncoder(params)
+    enc = Encryptor(params, keys.public_key, seed=8)
+    dec = Decryptor(params, keys.secret_key)
+    ev = Evaluator(params, relin_key=keys.relin_key)
+
+    ct_a = enc.encrypt(encoder.encode([1, 2, 3]))
+    ct_b = enc.encrypt(encoder.encode([10, 20, 30]))
+    total = ev.add(ct_a, ct_b)
+    prod = ev.multiply(ct_a, ct_b)
+    assert encoder.decode(dec.decrypt(total))[:3] == [11, 22, 33]
+    assert encoder.decode(dec.decrypt(prod))[:3] == [10, 40, 90]
+"""
+
+from repro.core.ciphertext import Ciphertext, Plaintext
+from repro.core.decryptor import Decryptor
+from repro.core.encoder import BatchEncoder, BinaryEncoder, IntegerEncoder
+from repro.core.encryptor import Encryptor
+from repro.core.evaluator import Evaluator
+from repro.core.keys import KeyGenerator, KeySet, PublicKey, RelinKey, SecretKey
+from repro.core.noise import noise_budget
+from repro.core.params import SECURITY_LEVELS, BFVParameters
+
+__all__ = [
+    "BFVParameters",
+    "BatchEncoder",
+    "BinaryEncoder",
+    "Ciphertext",
+    "Decryptor",
+    "Encryptor",
+    "Evaluator",
+    "IntegerEncoder",
+    "KeyGenerator",
+    "KeySet",
+    "Plaintext",
+    "PublicKey",
+    "RelinKey",
+    "SECURITY_LEVELS",
+    "SecretKey",
+    "noise_budget",
+]

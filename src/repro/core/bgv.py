@@ -1,0 +1,258 @@
+"""The BGV scheme: the paper's portability claim, made concrete.
+
+Paper Section 2: "We focus on the BFV scheme [...] but the
+implementation techniques that we propose are also applicable to other
+HE schemes (e.g., BGV and CKKS)." This module demonstrates that claim
+by implementing BGV on the *same* substrates — identical polynomial
+ring, samplers, containers, and (crucially) identical device cost
+structure, since BGV's homomorphic addition and multiplication are the
+same polynomial operations the PIM kernels price.
+
+BGV differs from BFV only in where the plaintext rides:
+
+* BFV: plaintext at the *top* of the modulus (``delta * m`` + noise);
+* BGV: plaintext in the *low bits* (``m + t * noise``), so encryption
+  adds ``t``-scaled errors and decryption is ``(c0 + c1*s mod q,
+  centered) mod t`` — no rounding at all.
+
+Multiplication is the plain tensor product modulo ``q`` (no ``t/q``
+rescaling), with the same base-``T`` relinearization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ciphertext import Ciphertext, Plaintext
+from repro.core.params import BFVParameters
+from repro.errors import CiphertextError, ParameterError
+from repro.poly.polynomial import Polynomial
+from repro.poly.sampling import (
+    sample_centered_binomial,
+    sample_ternary,
+    sample_uniform,
+)
+
+
+@dataclass(frozen=True)
+class BGVSecretKey:
+    params: BFVParameters
+    poly: Polynomial
+
+
+@dataclass(frozen=True)
+class BGVPublicKey:
+    """``(pk0, pk1) = (-(a*s + t*e), a)`` — note the ``t``-scaled error."""
+
+    params: BFVParameters
+    p0: Polynomial
+    p1: Polynomial
+
+
+@dataclass(frozen=True)
+class BGVRelinKey:
+    """Digit ``j`` encrypts ``T^j * s^2`` with ``t``-scaled error."""
+
+    params: BFVParameters
+    base_bits: int
+    pairs: tuple
+
+
+@dataclass(frozen=True)
+class BGVKeySet:
+    secret_key: BGVSecretKey
+    public_key: BGVPublicKey
+    relin_key: BGVRelinKey
+
+
+class BGVKeyGenerator:
+    """Deterministic BGV key generation (mirror of the BFV generator)."""
+
+    def __init__(self, params: BFVParameters, seed: int = 0):
+        if math.gcd(params.plain_modulus, params.coeff_modulus) != 1:
+            raise ParameterError("BGV requires gcd(t, q) == 1")
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self) -> BGVKeySet:
+        params = self.params
+        n, q, t = params.poly_degree, params.coeff_modulus, params.plain_modulus
+        rng = self._rng
+
+        s = Polynomial(sample_ternary(n, rng), q)
+        a = Polynomial(sample_uniform(n, q, rng), q)
+        e = Polynomial(sample_centered_binomial(n, rng, params.error_eta), q)
+        public = BGVPublicKey(params, -(a * s + e.scalar_mul(t)), a)
+
+        s_squared = s * s
+        base = 1 << params.relin_base_bits
+        pairs = []
+        power = 1
+        for _ in range(params.relin_components):
+            a_j = Polynomial(sample_uniform(n, q, rng), q)
+            e_j = Polynomial(
+                sample_centered_binomial(n, rng, params.error_eta), q
+            )
+            k0 = -(a_j * s + e_j.scalar_mul(t)) + s_squared.scalar_mul(power)
+            pairs.append((k0, a_j))
+            power = power * base % q
+        relin = BGVRelinKey(params, params.relin_base_bits, tuple(pairs))
+        return BGVKeySet(BGVSecretKey(params, s), public, relin)
+
+
+class BGVEncryptor:
+    """``ct = (pk0*u + t*e1 + m, pk1*u + t*e2)``."""
+
+    def __init__(
+        self, params: BFVParameters, public_key: BGVPublicKey, seed: int = 0
+    ):
+        if public_key.params != params:
+            raise ParameterError("public key belongs to different parameters")
+        self.params = params
+        self.public_key = public_key
+        self._rng = np.random.default_rng(seed)
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        if plaintext.params != self.params:
+            raise ParameterError("plaintext belongs to different parameters")
+        params = self.params
+        n, q, t = params.poly_degree, params.coeff_modulus, params.plain_modulus
+        rng = self._rng
+
+        u = Polynomial(sample_ternary(n, rng), q)
+        e1 = Polynomial(sample_centered_binomial(n, rng, params.error_eta), q)
+        e2 = Polynomial(sample_centered_binomial(n, rng, params.error_eta), q)
+        m = Polynomial(plaintext.poly.centered(), q)
+
+        c0 = self.public_key.p0 * u + e1.scalar_mul(t) + m
+        c1 = self.public_key.p1 * u + e2.scalar_mul(t)
+        return Ciphertext(params, (c0, c1))
+
+
+class BGVDecryptor:
+    """``m = centered(c0 + c1*s + c2*s^2 ... mod q) mod t`` — no rounding."""
+
+    def __init__(self, params: BFVParameters, secret_key: BGVSecretKey):
+        if secret_key.params != params:
+            raise ParameterError("secret key belongs to different parameters")
+        self.params = params
+        self.secret_key = secret_key
+
+    def raw_decrypt_centered(self, ciphertext: Ciphertext) -> list:
+        if ciphertext.params != self.params:
+            raise ParameterError("ciphertext belongs to different parameters")
+        s = self.secret_key.poly
+        acc = ciphertext.polys[0]
+        s_power = None
+        for c_i in ciphertext.polys[1:]:
+            s_power = s if s_power is None else s_power * s
+            acc = acc + c_i * s_power
+        return acc.centered()
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        t = self.params.plain_modulus
+        centered = self.raw_decrypt_centered(ciphertext)
+        return Plaintext(
+            self.params, Polynomial([c % t for c in centered], t)
+        )
+
+
+class BGVEvaluator:
+    """BGV homomorphic operations: add, multiply, relinearize.
+
+    Multiplication is the plain tensor product over ``Z_q`` — the exact
+    integer convolution reduced modulo ``q`` — so the *device work* is
+    identical to the BFV evaluator's (same kernels, same cost model),
+    which is the substance of the paper's portability claim.
+    """
+
+    def __init__(
+        self, params: BFVParameters, relin_key: BGVRelinKey | None = None
+    ):
+        if relin_key is not None and relin_key.params != params:
+            raise ParameterError("relin key belongs to different parameters")
+        self.params = params
+        self.relin_key = relin_key
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check(a)
+        a.check_compatible(b)
+        size = max(a.size, b.size)
+        zero = Polynomial.zero(self.params.poly_degree, self.params.coeff_modulus)
+        polys = []
+        for i in range(size):
+            pa = a.polys[i] if i < a.size else zero
+            pb = b.polys[i] if i < b.size else zero
+            polys.append(pa + pb)
+        return Ciphertext(self.params, polys)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        self._check(a)
+        return Ciphertext(self.params, tuple(-p for p in a.polys))
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.add(a, self.negate(b))
+
+    def multiply(
+        self, a: Ciphertext, b: Ciphertext, relinearize: bool = True
+    ) -> Ciphertext:
+        self._check(a)
+        a.check_compatible(b)
+        if a.size != 2 or b.size != 2:
+            raise CiphertextError("BGV multiply expects size-2 operands")
+        a0, a1 = a.polys
+        b0, b1 = b.polys
+        d0 = a0 * b0
+        d1 = a0 * b1 + a1 * b0
+        d2 = a1 * b1
+        product = Ciphertext(self.params, (d0, d1, d2))
+        if relinearize and self.relin_key is not None:
+            return self.relinearize(product)
+        return product
+
+    def relinearize(self, a: Ciphertext) -> Ciphertext:
+        self._check(a)
+        if self.relin_key is None:
+            raise CiphertextError("no relinearization key configured")
+        if a.size == 2:
+            return a
+        if a.size != 3:
+            raise CiphertextError("relinearize supports size-3 ciphertexts")
+        q = self.params.coeff_modulus
+        base_bits = self.relin_key.base_bits
+        mask = (1 << base_bits) - 1
+        c0, c1, c2 = a.polys
+        remaining = list(c2.coeffs)
+        new_c0, new_c1 = c0, c1
+        for k0, k1 in self.relin_key.pairs:
+            digit = Polynomial([r & mask for r in remaining], q)
+            remaining = [r >> base_bits for r in remaining]
+            new_c0 = new_c0 + k0 * digit
+            new_c1 = new_c1 + k1 * digit
+        if any(remaining):
+            raise CiphertextError("relin digit count too small for modulus")
+        return Ciphertext(self.params, (new_c0, new_c1))
+
+    def _check(self, a: Ciphertext) -> None:
+        if a.params != self.params:
+            raise CiphertextError("ciphertext belongs to different parameters")
+
+
+def bgv_noise_budget(ciphertext: Ciphertext, secret_key: BGVSecretKey) -> float:
+    """Remaining BGV noise budget in bits.
+
+    BGV decrypts correctly while ``|m + t*v|_inf < q/2``; the budget is
+    ``log2(q / (2 * |c0 + c1*s|_inf))`` — how many more doublings of
+    the noise term the modulus can absorb.
+    """
+    params = ciphertext.params
+    centered = BGVDecryptor(params, secret_key).raw_decrypt_centered(
+        ciphertext
+    )
+    worst = max((abs(c) for c in centered), default=0)
+    if worst == 0:
+        return float(params.coeff_modulus.bit_length())
+    return math.log2(params.coeff_modulus) - 1.0 - math.log2(worst)

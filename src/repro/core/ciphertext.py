@@ -1,0 +1,120 @@
+"""Plaintext and ciphertext containers for the BFV scheme.
+
+A :class:`Plaintext` wraps a single polynomial with coefficients modulo
+``t``; a :class:`Ciphertext` wraps two or more polynomials modulo ``q``
+(two for fresh encryptions, three after an unrelinearized
+multiplication). Both carry their parameter set so every operation can
+validate compatibility — mixing parameter sets is always a bug.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import BFVParameters
+from repro.errors import CiphertextError, ParameterError
+from repro.poly.polynomial import Polynomial
+
+
+class Plaintext:
+    """A BFV plaintext: one polynomial over ``Z_t[x]/(x^n + 1)``."""
+
+    __slots__ = ("params", "poly")
+
+    def __init__(self, params: BFVParameters, poly: Polynomial):
+        if poly.modulus != params.plain_modulus:
+            raise ParameterError(
+                f"plaintext polynomial modulus {poly.modulus} != "
+                f"t = {params.plain_modulus}"
+            )
+        if poly.degree_bound != params.poly_degree:
+            raise ParameterError(
+                f"plaintext degree {poly.degree_bound} != "
+                f"n = {params.poly_degree}"
+            )
+        self.params = params
+        self.poly = poly
+
+    @classmethod
+    def from_coefficients(cls, params: BFVParameters, coeffs) -> "Plaintext":
+        """Build a plaintext from raw (signed ok) coefficients mod t."""
+        return cls(params, Polynomial(coeffs, params.plain_modulus))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Plaintext)
+            and self.params == other.params
+            and self.poly == other.poly
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.params, self.poly))
+
+    def __repr__(self) -> str:
+        return f"Plaintext({self.poly!r})"
+
+
+class Ciphertext:
+    """A BFV ciphertext: a tuple of polynomials over ``Z_q[x]/(x^n+1)``.
+
+    ``size`` is the number of component polynomials. Fresh encryptions
+    have size 2; multiplying two size-2 ciphertexts yields size 3 until
+    relinearization brings it back to 2. Decryption of a size-``k``
+    ciphertext evaluates ``sum(c_i * s^i)``.
+    """
+
+    __slots__ = ("params", "polys")
+
+    def __init__(self, params: BFVParameters, polys):
+        polys = tuple(polys)
+        if len(polys) < 2:
+            raise CiphertextError(
+                f"a ciphertext needs at least 2 polynomials, got {len(polys)}"
+            )
+        for i, poly in enumerate(polys):
+            if not isinstance(poly, Polynomial):
+                raise CiphertextError(
+                    f"component {i} is not a Polynomial: {type(poly)}"
+                )
+            if poly.modulus != params.coeff_modulus:
+                raise CiphertextError(
+                    f"component {i} modulus != q (2^{params.security_bits})"
+                )
+            if poly.degree_bound != params.poly_degree:
+                raise CiphertextError(
+                    f"component {i} degree {poly.degree_bound} != "
+                    f"n = {params.poly_degree}"
+                )
+        self.params = params
+        self.polys = polys
+
+    @property
+    def size(self) -> int:
+        """Number of component polynomials (2 when fresh/relinearized)."""
+        return len(self.polys)
+
+    @property
+    def device_bytes(self) -> int:
+        """Bytes this ciphertext occupies in device (container) layout."""
+        return self.size * self.params.poly_bytes
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Ciphertext)
+            and self.params == other.params
+            and self.polys == other.polys
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.params, self.polys))
+
+    def __repr__(self) -> str:
+        return (
+            f"Ciphertext(size={self.size}, n={self.params.poly_degree}, "
+            f"q~2^{self.params.security_bits})"
+        )
+
+    def check_compatible(self, other: "Ciphertext") -> None:
+        """Raise unless ``other`` shares this ciphertext's parameters."""
+        if not isinstance(other, Ciphertext):
+            raise CiphertextError(f"expected Ciphertext, got {type(other)}")
+        if self.params != other.params:
+            raise CiphertextError("ciphertexts use different parameter sets")

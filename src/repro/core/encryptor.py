@@ -1,0 +1,93 @@
+"""BFV encryption (client-side, per the paper's deployment model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ciphertext import Ciphertext, Plaintext
+from repro.core.keys import PublicKey, SecretKey
+from repro.core.params import BFVParameters
+from repro.errors import ParameterError
+from repro.poly.polynomial import Polynomial
+from repro.poly.sampling import sample_centered_binomial, sample_ternary
+
+
+class Encryptor:
+    """Public-key BFV encryption.
+
+    A fresh encryption of plaintext ``m`` is::
+
+        ct = (pk0*u + e1 + delta*m,  pk1*u + e2)
+
+    with ternary ``u`` and small errors ``e1``, ``e2``, giving
+    ``ct0 + ct1*s = delta*m + (e1 + e*u + e2*s)`` — the plaintext at
+    scale ``delta`` plus small noise.
+
+    Encryption randomness is drawn from an explicit seeded generator so
+    experiments are reproducible.
+    """
+
+    def __init__(self, params: BFVParameters, public_key: PublicKey, seed: int = 0):
+        if public_key.params != params:
+            raise ParameterError("public key belongs to different parameters")
+        self.params = params
+        self.public_key = public_key
+        self._rng = np.random.default_rng(seed)
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        """Encrypt one plaintext into a fresh size-2 ciphertext."""
+        if plaintext.params != self.params:
+            raise ParameterError("plaintext belongs to different parameters")
+        params = self.params
+        n, q = params.poly_degree, params.coeff_modulus
+        rng = self._rng
+
+        u = Polynomial(sample_ternary(n, rng), q)
+        e1 = Polynomial(sample_centered_binomial(n, rng, params.error_eta), q)
+        e2 = Polynomial(sample_centered_binomial(n, rng, params.error_eta), q)
+
+        scaled_m = Polynomial(plaintext.poly.centered(), q).scalar_mul(
+            params.delta
+        )
+        c0 = self.public_key.p0 * u + e1 + scaled_m
+        c1 = self.public_key.p1 * u + e2
+        return Ciphertext(params, (c0, c1))
+
+    def encrypt_zero(self) -> Ciphertext:
+        """Encrypt the zero plaintext (useful as an accumulator seed)."""
+        zero = Plaintext.from_coefficients(
+            self.params, [0] * self.params.poly_degree
+        )
+        return self.encrypt(zero)
+
+
+class SymmetricEncryptor:
+    """Secret-key BFV encryption: ``ct = (-(a*s + e) + delta*m, a)``.
+
+    Slightly lower-noise than public-key encryption; used by tests to
+    separate public-key noise effects from evaluation noise.
+    """
+
+    def __init__(self, params: BFVParameters, secret_key: SecretKey, seed: int = 0):
+        if secret_key.params != params:
+            raise ParameterError("secret key belongs to different parameters")
+        self.params = params
+        self.secret_key = secret_key
+        self._rng = np.random.default_rng(seed)
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        from repro.poly.sampling import sample_uniform
+
+        if plaintext.params != self.params:
+            raise ParameterError("plaintext belongs to different parameters")
+        params = self.params
+        n, q = params.poly_degree, params.coeff_modulus
+        rng = self._rng
+
+        a = Polynomial(sample_uniform(n, q, rng), q)
+        e = Polynomial(sample_centered_binomial(n, rng, params.error_eta), q)
+        scaled_m = Polynomial(plaintext.poly.centered(), q).scalar_mul(
+            params.delta
+        )
+        c0 = -(a * self.secret_key.poly + e) + scaled_m
+        return Ciphertext(params, (c0, a))

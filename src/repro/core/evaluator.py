@@ -1,0 +1,280 @@
+"""Homomorphic evaluation: the operations the paper accelerates.
+
+The paper implements exactly two homomorphic primitives on the PIM
+device — **addition** and **multiplication** (Section 3) — and builds
+the statistical workloads from them. This evaluator provides those,
+plus the standard supporting operations (subtraction, negation,
+plaintext operands, relinearization, squaring).
+
+Multiplication follows the textbook BFV construction: the ciphertexts'
+centered lifts are tensored **exactly over the integers** (no modular
+wrap — this is why :func:`repro.poly.polynomial.negacyclic_convolve`
+works over Z), each tensor component is scaled by ``t/q`` with
+rounding, and the resulting size-3 ciphertext is folded back to size 2
+with the relinearization key's base-``T`` digits.
+"""
+
+from __future__ import annotations
+
+from repro.core.ciphertext import Ciphertext, Plaintext
+from repro.core.keys import RelinKey
+from repro.core.params import BFVParameters
+from repro.errors import CiphertextError, ParameterError
+from repro.poly.polynomial import Polynomial, negacyclic_convolve
+
+
+def _round_scale_list(values, numerator: int, denominator: int) -> list:
+    """Element-wise ``round(v * numerator / denominator)``, half away
+    from zero, exact integer arithmetic."""
+    out = []
+    for v in values:
+        num = v * numerator
+        if num >= 0:
+            out.append((2 * num + denominator) // (2 * denominator))
+        else:
+            out.append(-((-2 * num + denominator) // (2 * denominator)))
+    return out
+
+
+class Evaluator:
+    """Server-side homomorphic operations over one parameter set.
+
+    The evaluator never sees secret material: it holds at most the
+    relinearization key, which is public evaluation key material.
+    """
+
+    def __init__(self, params: BFVParameters, relin_key: RelinKey | None = None):
+        if relin_key is not None and relin_key.params != params:
+            raise ParameterError("relin key belongs to different parameters")
+        self.params = params
+        self.relin_key = relin_key
+
+    # -- additive operations ------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic addition: slot-wise / coefficient-wise sum.
+
+        Ciphertexts of different sizes are aligned by treating missing
+        components as zero.
+        """
+        self._check(a)
+        a.check_compatible(b)
+        size = max(a.size, b.size)
+        zero = Polynomial.zero(self.params.poly_degree, self.params.coeff_modulus)
+        polys = []
+        for i in range(size):
+            pa = a.polys[i] if i < a.size else zero
+            pb = b.polys[i] if i < b.size else zero
+            polys.append(pa + pb)
+        return Ciphertext(self.params, polys)
+
+    def add_many(self, ciphertexts) -> Ciphertext:
+        """Sum an iterable of ciphertexts (balanced-tree order).
+
+        The tree order matters for fairness of the platform comparison:
+        it is also the reduction order the device kernels use.
+        """
+        items = list(ciphertexts)
+        if not items:
+            raise CiphertextError("add_many needs at least one ciphertext")
+        while len(items) > 1:
+            paired = []
+            for i in range(0, len(items) - 1, 2):
+                paired.append(self.add(items[i], items[i + 1]))
+            if len(items) % 2:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic subtraction ``a - b``."""
+        return self.add(a, self.negate(b))
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        """Homomorphic negation."""
+        self._check(a)
+        return Ciphertext(self.params, tuple(-p for p in a.polys))
+
+    def add_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Add an unencrypted plaintext to a ciphertext (noise-free)."""
+        self._check(a)
+        if plain.params != self.params:
+            raise ParameterError("plaintext belongs to different parameters")
+        scaled = Polynomial(
+            plain.poly.centered(), self.params.coeff_modulus
+        ).scalar_mul(self.params.delta)
+        polys = list(a.polys)
+        polys[0] = polys[0] + scaled
+        return Ciphertext(self.params, polys)
+
+    # -- multiplicative operations -------------------------------------------
+
+    def multiply_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        """Multiply a ciphertext by an unencrypted plaintext.
+
+        No rescaling is needed: each component is convolved with the
+        centered plaintext directly, and the noise grows only by the
+        plaintext's norm.
+        """
+        self._check(a)
+        if plain.params != self.params:
+            raise ParameterError("plaintext belongs to different parameters")
+        lifted = Polynomial(plain.poly.centered(), self.params.coeff_modulus)
+        if not any(plain.poly.coeffs):
+            raise CiphertextError(
+                "multiply_plain by zero produces a transparent ciphertext"
+            )
+        return Ciphertext(self.params, tuple(p * lifted for p in a.polys))
+
+    def multiply(
+        self, a: Ciphertext, b: Ciphertext, relinearize: bool = True
+    ) -> Ciphertext:
+        """Homomorphic multiplication (paper Section 3).
+
+        Computes the exact integer tensor product of the two size-2
+        ciphertexts, scales by ``t/q`` with rounding, and (by default)
+        relinearizes the size-3 result back to size 2.
+        """
+        self._check(a)
+        a.check_compatible(b)
+        if a.size != 2 or b.size != 2:
+            raise CiphertextError(
+                "multiply expects size-2 operands; relinearize first "
+                f"(got sizes {a.size} and {b.size})"
+            )
+        params = self.params
+        n, q, t = params.poly_degree, params.coeff_modulus, params.plain_modulus
+
+        a0, a1 = (p.centered() for p in a.polys)
+        b0, b1 = (p.centered() for p in b.polys)
+
+        d0 = negacyclic_convolve(a0, b0, n)
+        cross1 = negacyclic_convolve(a0, b1, n)
+        cross2 = negacyclic_convolve(a1, b0, n)
+        d1 = [x + y for x, y in zip(cross1, cross2)]
+        d2 = negacyclic_convolve(a1, b1, n)
+
+        polys = tuple(
+            Polynomial(_round_scale_list(d, t, q), q) for d in (d0, d1, d2)
+        )
+        product = Ciphertext(params, polys)
+        if relinearize and self.relin_key is not None:
+            return self.relinearize(product)
+        return product
+
+    def square(self, a: Ciphertext, relinearize: bool = True) -> Ciphertext:
+        """Homomorphic squaring — the variance workload's inner step.
+
+        Same construction as :meth:`multiply` with the symmetric tensor
+        (one fewer convolution: ``d1 = 2 * a0 * a1``).
+        """
+        self._check(a)
+        if a.size != 2:
+            raise CiphertextError("square expects a size-2 ciphertext")
+        params = self.params
+        n, q, t = params.poly_degree, params.coeff_modulus, params.plain_modulus
+        a0, a1 = (p.centered() for p in a.polys)
+        d0 = negacyclic_convolve(a0, a0, n)
+        d1 = [2 * x for x in negacyclic_convolve(a0, a1, n)]
+        d2 = negacyclic_convolve(a1, a1, n)
+        polys = tuple(
+            Polynomial(_round_scale_list(d, t, q), q) for d in (d0, d1, d2)
+        )
+        product = Ciphertext(params, polys)
+        if relinearize and self.relin_key is not None:
+            return self.relinearize(product)
+        return product
+
+    def multiply_many(self, ciphertexts) -> Ciphertext:
+        """Product of several ciphertexts, balanced-tree order.
+
+        The tree shape minimizes multiplicative depth
+        (``ceil(log2(count))`` levels instead of ``count - 1``), which
+        directly minimizes noise-budget consumption. Requires a
+        relinearization key (intermediate products must return to size
+        2 before the next level).
+        """
+        items = list(ciphertexts)
+        if not items:
+            raise CiphertextError("multiply_many needs at least one ciphertext")
+        if len(items) > 1 and self.relin_key is None:
+            raise CiphertextError(
+                "multiply_many requires a relinearization key"
+            )
+        while len(items) > 1:
+            paired = []
+            for i in range(0, len(items) - 1, 2):
+                paired.append(self.multiply(items[i], items[i + 1]))
+            if len(items) % 2:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
+
+    def exponentiate(self, a: Ciphertext, exponent: int) -> Ciphertext:
+        """``a`` raised to a positive integer power, square-and-multiply.
+
+        Consumes one multiplicative level per bit of the exponent, so
+        check :mod:`repro.core.planner` before using large exponents.
+        """
+        if exponent <= 0:
+            raise CiphertextError(
+                f"exponent must be a positive integer, got {exponent} "
+                "(inverses do not exist homomorphically)"
+            )
+        self._check(a)
+        if exponent > 1 and self.relin_key is None:
+            raise CiphertextError("exponentiate requires a relinearization key")
+        result = None
+        base = a
+        remaining = exponent
+        while remaining:
+            if remaining & 1:
+                result = base if result is None else self.multiply(result, base)
+            remaining >>= 1
+            if remaining:
+                base = self.square(base)
+        return result
+
+    def relinearize(self, a: Ciphertext) -> Ciphertext:
+        """Fold a size-3 ciphertext back to size 2 using the relin key.
+
+        The cubic component ``c2`` is split into base-``T`` digits
+        ``c2 = sum_i T^i * u_i``; each digit is multiplied by the key
+        pair encrypting ``T^i * s^2``, keeping the digit norms (and so
+        the added noise) bounded by ``T``.
+        """
+        self._check(a)
+        if self.relin_key is None:
+            raise CiphertextError("no relinearization key configured")
+        if a.size == 2:
+            return a
+        if a.size != 3:
+            raise CiphertextError(
+                f"relinearize supports size-3 ciphertexts, got size {a.size}"
+            )
+        params = self.params
+        q = params.coeff_modulus
+        base_bits = self.relin_key.base_bits
+        mask = (1 << base_bits) - 1
+
+        c0, c1, c2 = a.polys
+        digits = []
+        remaining = list(c2.coeffs)
+        for _ in range(self.relin_key.component_count):
+            digits.append(Polynomial([r & mask for r in remaining], q))
+            remaining = [r >> base_bits for r in remaining]
+        if any(remaining):
+            raise CiphertextError(
+                "relinearization digit count too small for modulus"
+            )
+        new_c0, new_c1 = c0, c1
+        for digit, (rk0, rk1) in zip(digits, self.relin_key.pairs):
+            new_c0 = new_c0 + rk0 * digit
+            new_c1 = new_c1 + rk1 * digit
+        return Ciphertext(params, (new_c0, new_c1))
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check(self, a: Ciphertext) -> None:
+        if a.params != self.params:
+            raise CiphertextError("ciphertext belongs to different parameters")

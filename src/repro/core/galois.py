@@ -1,0 +1,207 @@
+"""Galois automorphisms, rotation keys, and slot rotations.
+
+The paper implements addition and multiplication and leaves "more
+homomorphic operations" as future work (Section 6); **rotation** is the
+next operation every BFV library provides, and the statistical
+workloads want it (e.g. summing across SIMD slots without decrypting).
+This module implements it in full:
+
+* :func:`apply_automorphism` — the ring automorphism
+  ``x -> x^g (mod x^n + 1)`` for odd ``g``;
+* :class:`GaloisKeys` / :func:`generate_galois_keys` — key-switching
+  keys from ``s(x^g)`` back to ``s``, same base-``T`` digit structure
+  as relinearization keys;
+* :func:`apply_galois` — automorphism + key switch on a ciphertext;
+* :func:`rotate_rows` / :func:`rotate_columns` — the standard BFV SIMD
+  rotations. The batch encoder's slots form a ``2 x (n/2)`` matrix;
+  ``g = 3^k (mod 2n)`` rotates both rows left by ``k``, and
+  ``g = 2n - 1`` swaps the rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ciphertext import Ciphertext
+from repro.core.keys import SecretKey
+from repro.core.params import BFVParameters
+from repro.errors import CiphertextError, KeyError_, ParameterError
+from repro.poly.polynomial import Polynomial
+from repro.poly.sampling import sample_centered_binomial, sample_uniform
+
+
+def _check_galois_element(g: int, n: int) -> None:
+    if g % 2 == 0 or not 0 < g < 2 * n:
+        raise ParameterError(
+            f"galois element must be odd and in (0, {2 * n}): {g}"
+        )
+    if math.gcd(g, 2 * n) != 1:
+        raise ParameterError(f"galois element {g} not invertible mod {2 * n}")
+
+
+def apply_automorphism(poly: Polynomial, g: int) -> Polynomial:
+    """The ring automorphism ``p(x) -> p(x^g)`` in ``Z_q[x]/(x^n+1)``.
+
+    Coefficient ``i`` moves to position ``i*g mod 2n``; positions at or
+    beyond ``n`` wrap with a sign flip (``x^n == -1``). ``g`` must be
+    odd so the map is a bijection on coefficients.
+
+    >>> p = Polynomial([1, 2, 0, 0], 97)     # 1 + 2x, n = 4
+    >>> apply_automorphism(p, 3).coeffs      # 1 + 2x^3
+    (1, 0, 0, 2)
+    """
+    n = poly.degree_bound
+    _check_galois_element(g, n)
+    q = poly.modulus
+    out = [0] * n
+    for i, c in enumerate(poly.coeffs):
+        if c == 0:
+            continue
+        j = i * g % (2 * n)
+        if j < n:
+            out[j] = (out[j] + c) % q
+        else:
+            out[j - n] = (out[j - n] - c) % q
+    return Polynomial(out, q)
+
+
+@dataclass(frozen=True)
+class GaloisKeys:
+    """Key-switching keys for a set of Galois elements.
+
+    ``components[g]`` is a tuple of RLWE pairs; pair ``j`` encrypts
+    ``T^j * s(x^g)`` under ``s``, exactly mirroring the relinearization
+    key's structure (and therefore its noise behaviour).
+    """
+
+    params: BFVParameters
+    base_bits: int
+    components: dict
+
+    def elements(self) -> tuple:
+        """The Galois elements these keys can apply."""
+        return tuple(sorted(self.components))
+
+    def pairs_for(self, g: int) -> tuple:
+        try:
+            return self.components[g]
+        except KeyError:
+            raise KeyError_(
+                f"no galois key for element {g}; available: "
+                f"{self.elements()}"
+            ) from None
+
+
+def rotation_elements(params: BFVParameters, steps) -> list:
+    """Galois elements implementing row rotations by each of ``steps``
+    (plus the column swap element ``2n - 1``)."""
+    two_n = 2 * params.poly_degree
+    elements = {two_n - 1}
+    for step in steps:
+        elements.add(galois_element_for_step(params, step))
+    return sorted(elements)
+
+
+def galois_element_for_step(params: BFVParameters, step: int) -> int:
+    """The Galois element rotating SIMD rows left by ``step`` slots.
+
+    Negative steps rotate right. Step 0 maps to the identity element 1
+    (applying it is a no-op key switch, allowed for uniformity).
+    """
+    n = params.poly_degree
+    row = n // 2
+    step %= row
+    return pow(3, step, 2 * n)
+
+
+def generate_galois_keys(
+    secret: SecretKey, elements, rng: np.random.Generator
+) -> GaloisKeys:
+    """Generate key-switching keys for the given Galois elements.
+
+    Same construction as the relinearization key with ``s^2`` replaced
+    by ``s(x^g)``: for each digit ``j``,
+    ``(k0_j, k1_j) = (-(a_j*s + e_j) + T^j * s(x^g), a_j)``.
+    """
+    params = secret.params
+    n, q = params.poly_degree, params.coeff_modulus
+    base = 1 << params.relin_base_bits
+    components = {}
+    for g in elements:
+        _check_galois_element(g, n)
+        rotated_secret = apply_automorphism(secret.poly, g)
+        pairs = []
+        power = 1
+        for _ in range(params.relin_components):
+            a_j = Polynomial(sample_uniform(n, q, rng), q)
+            e_j = Polynomial(
+                sample_centered_binomial(n, rng, params.error_eta), q
+            )
+            k0 = -(a_j * secret.poly + e_j) + rotated_secret.scalar_mul(power)
+            pairs.append((k0, a_j))
+            power = power * base % q
+        components[g] = tuple(pairs)
+    return GaloisKeys(params, params.relin_base_bits, components)
+
+
+def apply_galois(
+    ciphertext: Ciphertext, g: int, galois_keys: GaloisKeys
+) -> Ciphertext:
+    """Apply ``x -> x^g`` to a size-2 ciphertext homomorphically.
+
+    Both components are transformed, then the ``c1`` component — which
+    after the automorphism decrypts under ``s(x^g)`` — is switched back
+    to ``s`` using the base-``T`` digit decomposition.
+    """
+    params = ciphertext.params
+    if galois_keys.params != params:
+        raise KeyError_("galois keys belong to different parameters")
+    if ciphertext.size != 2:
+        raise CiphertextError(
+            "apply_galois expects a size-2 ciphertext; relinearize first"
+        )
+    pairs = galois_keys.pairs_for(g)
+    q = params.coeff_modulus
+    base_bits = galois_keys.base_bits
+    mask = (1 << base_bits) - 1
+
+    c0 = apply_automorphism(ciphertext.polys[0], g)
+    c1 = apply_automorphism(ciphertext.polys[1], g)
+
+    new_c0 = c0
+    new_c1 = Polynomial.zero(params.poly_degree, q)
+    remaining = list(c1.coeffs)
+    for k0, k1 in pairs:
+        digit = Polynomial([r & mask for r in remaining], q)
+        remaining = [r >> base_bits for r in remaining]
+        new_c0 = new_c0 + k0 * digit
+        new_c1 = new_c1 + k1 * digit
+    if any(remaining):
+        raise CiphertextError("galois digit count too small for modulus")
+    return Ciphertext(params, (new_c0, new_c1))
+
+
+def rotate_rows(
+    ciphertext: Ciphertext, steps: int, galois_keys: GaloisKeys
+) -> Ciphertext:
+    """Rotate both SIMD rows left by ``steps`` slots (negative: right).
+
+    Requires the key for ``3^steps mod 2n``; pair with
+    :meth:`repro.core.encoder.BatchEncoder` (canonical slot order) so
+    the decoded vector visibly rotates.
+    """
+    g = galois_element_for_step(ciphertext.params, steps)
+    if g == 1:
+        return ciphertext
+    return apply_galois(ciphertext, g, galois_keys)
+
+
+def rotate_columns(
+    ciphertext: Ciphertext, galois_keys: GaloisKeys
+) -> Ciphertext:
+    """Swap the two SIMD rows (the ``g = 2n - 1`` automorphism)."""
+    g = 2 * ciphertext.params.poly_degree - 1
+    return apply_galois(ciphertext, g, galois_keys)

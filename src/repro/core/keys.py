@@ -1,0 +1,172 @@
+"""Key material and key generation for BFV.
+
+The paper's deployment model (Section 3): "Users handle key generation,
+encryption, and decryption to guarantee their data privacy" — only
+evaluation keys and ciphertexts ever reach the PIM server. Accordingly
+the key types here are host-side objects; the relinearization key is
+the single piece of key material shipped to the device.
+
+Key generation is textbook BFV:
+
+* secret key ``s``: ternary polynomial;
+* public key: ``(pk0, pk1) = (-(a*s + e), a)`` for uniform ``a`` and
+  small error ``e``, so ``pk0 + pk1*s = -e``;
+* relinearization key (base-``T`` variant): for each digit ``i``,
+  ``(rk0_i, rk1_i) = (-(a_i*s + e_i) + T^i * s^2, a_i)``, so
+  ``rk0_i + rk1_i*s ≈ T^i * s^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import BFVParameters
+from repro.errors import KeyError_
+from repro.poly.polynomial import Polynomial
+from repro.poly.sampling import (
+    sample_centered_binomial,
+    sample_ternary,
+    sample_uniform,
+)
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """The ternary secret polynomial ``s`` (never leaves the client)."""
+
+    params: BFVParameters
+    poly: Polynomial
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """The RLWE public key pair ``(pk0, pk1) = (-(a*s + e), a)``."""
+
+    params: BFVParameters
+    p0: Polynomial
+    p1: Polynomial
+
+
+@dataclass(frozen=True)
+class RelinKey:
+    """Base-``T`` relinearization key: one RLWE pair per digit of q.
+
+    ``pairs[i]`` encrypts ``T^i * s^2`` under ``s``; the evaluator uses
+    them to fold the cubic component of a ciphertext product back into
+    a standard two-polynomial ciphertext.
+    """
+
+    params: BFVParameters
+    base_bits: int
+    pairs: tuple
+
+    @property
+    def component_count(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class KeySet:
+    """All keys produced by one :class:`KeyGenerator` run."""
+
+    secret_key: SecretKey
+    public_key: PublicKey
+    relin_key: RelinKey
+
+
+class KeyGenerator:
+    """Deterministic BFV key generation from an explicit seed.
+
+    >>> keys = KeyGenerator(BFVParameters.security_level(54), seed=1).generate()
+    >>> keys.relin_key.component_count == keys.relin_key.params.relin_components
+    True
+    """
+
+    def __init__(self, params: BFVParameters, seed: int = 0):
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self) -> KeySet:
+        """Generate a fresh, mutually consistent key set."""
+        params = self.params
+        n, q = params.poly_degree, params.coeff_modulus
+        rng = self._rng
+
+        s = Polynomial(sample_ternary(n, rng), q)
+        secret = SecretKey(params, s)
+
+        a = Polynomial(sample_uniform(n, q, rng), q)
+        e = Polynomial(sample_centered_binomial(n, rng, params.error_eta), q)
+        public = PublicKey(params, -(a * s + e), a)
+
+        relin = self._generate_relin(secret)
+        return KeySet(secret, public, relin)
+
+    def generate_galois_keys(self, secret: SecretKey, steps=None):
+        """Rotation keys for the given row-rotation ``steps``.
+
+        ``steps`` defaults to every power of two up to half a row —
+        enough to compose any rotation in ``O(log n)`` applications —
+        plus the column-swap element. Returns a
+        :class:`repro.core.galois.GaloisKeys`.
+        """
+        from repro.core.galois import generate_galois_keys, rotation_elements
+
+        if steps is None:
+            row = self.params.poly_degree // 2
+            steps = []
+            step = 1
+            while step <= row // 2:
+                steps.append(step)
+                step *= 2
+            steps = steps or [0]
+        elements = rotation_elements(self.params, steps)
+        return generate_galois_keys(secret, elements, self._rng)
+
+    def _generate_relin(self, secret: SecretKey) -> RelinKey:
+        params = self.params
+        n, q = params.poly_degree, params.coeff_modulus
+        rng = self._rng
+        s = secret.poly
+        s_squared = s * s
+        base = 1 << params.relin_base_bits
+        pairs = []
+        power = 1  # T^i mod q
+        for _ in range(params.relin_components):
+            a_i = Polynomial(sample_uniform(n, q, rng), q)
+            e_i = Polynomial(
+                sample_centered_binomial(n, rng, params.error_eta), q
+            )
+            rk0 = -(a_i * s + e_i) + s_squared.scalar_mul(power)
+            pairs.append((rk0, a_i))
+            power = power * base % q
+        return RelinKey(params, params.relin_base_bits, tuple(pairs))
+
+
+def check_relin_key(relin: RelinKey, secret: SecretKey) -> int:
+    """Verify ``rk0_i + rk1_i * s == T^i * s^2 + small`` for every digit.
+
+    Returns the largest error norm observed; raises
+    :class:`~repro.errors.KeyError_` if any digit's error is larger
+    than the error distribution could produce. Used by tests and by
+    :mod:`repro.harness` sanity checks.
+    """
+    params = relin.params
+    s = secret.poly
+    s_squared = s * s
+    base = 1 << relin.base_bits
+    worst = 0
+    power = 1
+    for i, (rk0, rk1) in enumerate(relin.pairs):
+        residual = rk0 + rk1 * s - s_squared.scalar_mul(power)
+        norm = residual.infinity_norm()
+        if norm > params.error_eta:
+            raise KeyError_(
+                f"relin digit {i} error norm {norm} exceeds eta "
+                f"{params.error_eta}: inconsistent key material"
+            )
+        worst = max(worst, norm)
+        power = power * base % params.coeff_modulus
+    return worst

@@ -1,0 +1,139 @@
+"""Modulus switching: trading modulus size for noise headroom.
+
+The classic BFV/BGV noise-management tool the paper's future work
+("more homomorphic operations and optimizations") points at: a
+ciphertext under modulus ``q`` is rescaled to a smaller modulus ``q'``
+by ``c' = round(q'/q * c)`` per coefficient. The *invariant* noise is
+essentially preserved (the plaintext rides at scale ``q'/t`` instead of
+``q/t``), at the price of a small rounding term — so a ciphertext that
+has already consumed most of a large modulus can continue its life as a
+smaller, cheaper ciphertext:
+
+* smaller coefficients → fewer limbs on the device → faster kernels;
+* the paper's 109-bit level could, e.g., finish a depth-1 workload at
+  the 64-bit container width after switching.
+
+Switching changes the parameter set, so the functions here return both
+the new ciphertext and helpers to carry keys across.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.ciphertext import Ciphertext
+from repro.core.keys import SecretKey
+from repro.core.params import BFVParameters
+from repro.errors import ParameterError
+from repro.poly.polynomial import Polynomial
+
+
+def switched_parameters(
+    params: BFVParameters, new_modulus: int
+) -> BFVParameters:
+    """The parameter set after switching ``coeff_modulus``.
+
+    Ring degree, plaintext modulus, and error parameters carry over;
+    the relinearization base is clamped to the new modulus width (the
+    presets' rule).
+    """
+    if new_modulus >= params.coeff_modulus:
+        raise ParameterError(
+            "modulus switching must decrease the modulus "
+            f"(got {new_modulus.bit_length()} bits, have "
+            f"{params.security_bits})"
+        )
+    if new_modulus <= params.plain_modulus:
+        raise ParameterError(
+            f"new modulus must exceed the plaintext modulus "
+            f"{params.plain_modulus}"
+        )
+    bits = new_modulus.bit_length()
+    return replace(
+        params,
+        coeff_modulus=new_modulus,
+        relin_base_bits=min(params.relin_base_bits, max(1, (bits + 1) // 2)),
+    )
+
+
+def _round_scale(value: int, numerator: int, denominator: int) -> int:
+    num = value * numerator
+    if num >= 0:
+        return (2 * num + denominator) // (2 * denominator)
+    return -((-2 * num + denominator) // (2 * denominator))
+
+
+def switch_modulus(ciphertext: Ciphertext, new_modulus: int) -> Ciphertext:
+    """Rescale a ciphertext to a smaller coefficient modulus.
+
+    Each component's centered coefficients are scaled by
+    ``new_q / q`` with exact rational rounding. The result decrypts
+    under the *same secret polynomial* reduced modulo the new modulus
+    (see :func:`switch_secret_key`); its invariant noise gains only the
+    rounding term ``~ t * n / (2 * new_q)`` — negligible while
+    ``new_q`` comfortably exceeds ``t``.
+    """
+    params = ciphertext.params
+    new_params = switched_parameters(params, new_modulus)
+    q = params.coeff_modulus
+    polys = []
+    for poly in ciphertext.polys:
+        scaled = [
+            _round_scale(c, new_modulus, q) for c in poly.centered()
+        ]
+        polys.append(Polynomial(scaled, new_modulus))
+    return Ciphertext(new_params, polys)
+
+
+def bgv_switch_modulus(ciphertext: Ciphertext, new_modulus: int) -> Ciphertext:
+    """BGV-flavoured modulus switch: rescale *and* fix the residue mod t.
+
+    BGV embeds the plaintext in the low bits (``c0 + c1*s = m + t*v``),
+    so a correct switch must keep each coefficient's residue modulo
+    ``t`` unchanged: after the ``new_q/q`` scaling with rounding, every
+    coefficient is nudged by the (centered) difference of residues —
+    a correction of magnitude at most ``t/2``, absorbed by the noise.
+
+    As in the original BGV construction, correctness additionally
+    requires **both moduli to be congruent to 1 modulo t**: decryption
+    reduces modulo the ciphertext modulus, and the dropped multiples of
+    ``q`` must not disturb the plaintext residue. Generate suitable
+    primes with ``find_ntt_prime(bits, n, also_one_mod=t)``.
+    """
+    params = ciphertext.params
+    new_params = switched_parameters(params, new_modulus)
+    q = params.coeff_modulus
+    t = params.plain_modulus
+    if q % t != 1 or new_modulus % t != 1:
+        raise ParameterError(
+            "BGV modulus switching requires q == q' == 1 (mod t); got "
+            f"q mod t = {q % t}, q' mod t = {new_modulus % t}. Generate "
+            "moduli with find_ntt_prime(bits, n, also_one_mod=t)."
+        )
+    half_t = t // 2
+    polys = []
+    for poly in ciphertext.polys:
+        coeffs = []
+        for c in poly.centered():
+            scaled = _round_scale(c, new_modulus, q)
+            # Residue correction: keep scaled == c (mod t).
+            delta = (c - scaled) % t
+            if delta > half_t:
+                delta -= t
+            coeffs.append(scaled + delta)
+        polys.append(Polynomial(coeffs, new_modulus))
+    return Ciphertext(new_params, polys)
+
+
+def switch_secret_key(secret: SecretKey, new_params: BFVParameters) -> SecretKey:
+    """The same ternary secret under the switched parameter set.
+
+    Modulus switching does not touch the key material — the ternary
+    polynomial is simply re-reduced modulo the new modulus.
+    """
+    if new_params.poly_degree != secret.params.poly_degree:
+        raise ParameterError("modulus switching cannot change the ring degree")
+    return SecretKey(
+        new_params,
+        Polynomial(secret.poly.centered(), new_params.coeff_modulus),
+    )

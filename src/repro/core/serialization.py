@@ -1,0 +1,267 @@
+"""Serialization of parameters, keys, plaintexts, and ciphertexts.
+
+The paper's deployment model moves ciphertexts between clients and the
+PIM server; a usable library therefore needs a wire format. This module
+provides a compact, versioned, deterministic binary encoding:
+
+* every object serializes to ``MAGIC | version | kind | body``;
+* integers are length-prefixed little-endian (coefficients up to the
+  109-bit level and beyond);
+* parameter sets are embedded by value in key/ciphertext payloads, so a
+  deserialized object is self-describing and is validated on load.
+
+The format is implementation-defined (not interoperable with SEAL); its
+contract is ``loads(dumps(x)) == x``, enforced by round-trip tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.ciphertext import Ciphertext, Plaintext
+from repro.core.keys import PublicKey, RelinKey, SecretKey
+from repro.core.params import BFVParameters
+from repro.errors import ReproError
+from repro.poly.polynomial import Polynomial
+
+MAGIC = b"RPRO"
+VERSION = 1
+
+_KIND_PARAMS = 1
+_KIND_PLAINTEXT = 2
+_KIND_CIPHERTEXT = 3
+_KIND_SECRET_KEY = 4
+_KIND_PUBLIC_KEY = 5
+_KIND_RELIN_KEY = 6
+
+
+class SerializationError(ReproError):
+    """Malformed, truncated, or incompatible serialized data."""
+
+
+# -- primitive encoders -------------------------------------------------------
+
+
+def _pack_int(value: int) -> bytes:
+    """Length-prefixed little-endian unsigned integer."""
+    if value < 0:
+        raise SerializationError(f"cannot serialize negative int {value}")
+    raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "little")
+    return struct.pack("<I", len(raw)) + raw
+
+
+def _unpack_int(buf: memoryview, offset: int) -> tuple:
+    if offset + 4 > len(buf):
+        raise SerializationError("truncated integer length")
+    (length,) = struct.unpack_from("<I", buf, offset)
+    offset += 4
+    if offset + length > len(buf):
+        raise SerializationError("truncated integer body")
+    value = int.from_bytes(bytes(buf[offset : offset + length]), "little")
+    return value, offset + length
+
+
+def _pack_int_vector(values) -> bytes:
+    values = list(values)
+    parts = [struct.pack("<I", len(values))]
+    parts.extend(_pack_int(v) for v in values)
+    return b"".join(parts)
+
+
+def _unpack_int_vector(buf: memoryview, offset: int) -> tuple:
+    if offset + 4 > len(buf):
+        raise SerializationError("truncated vector length")
+    (count,) = struct.unpack_from("<I", buf, offset)
+    offset += 4
+    values = []
+    for _ in range(count):
+        value, offset = _unpack_int(buf, offset)
+        values.append(value)
+    return values, offset
+
+
+# -- object bodies -------------------------------------------------------------
+
+
+def _pack_params_body(params: BFVParameters) -> bytes:
+    return b"".join(
+        [
+            _pack_int(params.poly_degree),
+            _pack_int(params.coeff_modulus),
+            _pack_int(params.plain_modulus),
+            _pack_int(params.error_eta),
+            _pack_int(params.relin_base_bits),
+        ]
+    )
+
+
+def _unpack_params_body(buf: memoryview, offset: int) -> tuple:
+    degree, offset = _unpack_int(buf, offset)
+    q, offset = _unpack_int(buf, offset)
+    t, offset = _unpack_int(buf, offset)
+    eta, offset = _unpack_int(buf, offset)
+    base, offset = _unpack_int(buf, offset)
+    return (
+        BFVParameters(
+            poly_degree=degree,
+            coeff_modulus=q,
+            plain_modulus=t,
+            error_eta=eta,
+            relin_base_bits=base,
+        ),
+        offset,
+    )
+
+
+def _pack_poly(poly: Polynomial) -> bytes:
+    return _pack_int_vector(poly.coeffs)
+
+
+def _unpack_poly(buf: memoryview, offset: int, modulus: int) -> tuple:
+    coeffs, offset = _unpack_int_vector(buf, offset)
+    return Polynomial(coeffs, modulus), offset
+
+
+# -- framing --------------------------------------------------------------------
+
+
+def _frame(kind: int, body: bytes) -> bytes:
+    return MAGIC + struct.pack("<BB", VERSION, kind) + body
+
+
+def _unframe(data: bytes, expected_kind: int) -> memoryview:
+    if len(data) < 6 or data[:4] != MAGIC:
+        raise SerializationError("not a repro-serialized object")
+    version, kind = struct.unpack_from("<BB", data, 4)
+    if version != VERSION:
+        raise SerializationError(
+            f"unsupported format version {version} (expected {VERSION})"
+        )
+    if kind != expected_kind:
+        raise SerializationError(
+            f"wrong object kind {kind} (expected {expected_kind})"
+        )
+    return memoryview(data)[6:]
+
+
+# -- public API -------------------------------------------------------------------
+
+
+def dump_params(params: BFVParameters) -> bytes:
+    """Serialize a parameter set."""
+    return _frame(_KIND_PARAMS, _pack_params_body(params))
+
+
+def load_params(data: bytes) -> BFVParameters:
+    """Deserialize a parameter set (validated on construction)."""
+    buf = _unframe(data, _KIND_PARAMS)
+    params, offset = _unpack_params_body(buf, 0)
+    _check_consumed(buf, offset)
+    return params
+
+
+def dump_plaintext(plaintext: Plaintext) -> bytes:
+    """Serialize a plaintext with its embedded parameters."""
+    return _frame(
+        _KIND_PLAINTEXT,
+        _pack_params_body(plaintext.params) + _pack_poly(plaintext.poly),
+    )
+
+
+def load_plaintext(data: bytes) -> Plaintext:
+    buf = _unframe(data, _KIND_PLAINTEXT)
+    params, offset = _unpack_params_body(buf, 0)
+    poly, offset = _unpack_poly(buf, offset, params.plain_modulus)
+    _check_consumed(buf, offset)
+    return Plaintext(params, poly)
+
+
+def dump_ciphertext(ciphertext: Ciphertext) -> bytes:
+    """Serialize a ciphertext (any size) with embedded parameters."""
+    parts = [
+        _pack_params_body(ciphertext.params),
+        struct.pack("<I", ciphertext.size),
+    ]
+    parts.extend(_pack_poly(p) for p in ciphertext.polys)
+    return _frame(_KIND_CIPHERTEXT, b"".join(parts))
+
+
+def load_ciphertext(data: bytes) -> Ciphertext:
+    buf = _unframe(data, _KIND_CIPHERTEXT)
+    params, offset = _unpack_params_body(buf, 0)
+    if offset + 4 > len(buf):
+        raise SerializationError("truncated ciphertext size")
+    (size,) = struct.unpack_from("<I", buf, offset)
+    offset += 4
+    polys = []
+    for _ in range(size):
+        poly, offset = _unpack_poly(buf, offset, params.coeff_modulus)
+        polys.append(poly)
+    _check_consumed(buf, offset)
+    return Ciphertext(params, polys)
+
+
+def dump_secret_key(key: SecretKey) -> bytes:
+    return _frame(
+        _KIND_SECRET_KEY, _pack_params_body(key.params) + _pack_poly(key.poly)
+    )
+
+
+def load_secret_key(data: bytes) -> SecretKey:
+    buf = _unframe(data, _KIND_SECRET_KEY)
+    params, offset = _unpack_params_body(buf, 0)
+    poly, offset = _unpack_poly(buf, offset, params.coeff_modulus)
+    _check_consumed(buf, offset)
+    return SecretKey(params, poly)
+
+
+def dump_public_key(key: PublicKey) -> bytes:
+    return _frame(
+        _KIND_PUBLIC_KEY,
+        _pack_params_body(key.params) + _pack_poly(key.p0) + _pack_poly(key.p1),
+    )
+
+
+def load_public_key(data: bytes) -> PublicKey:
+    buf = _unframe(data, _KIND_PUBLIC_KEY)
+    params, offset = _unpack_params_body(buf, 0)
+    p0, offset = _unpack_poly(buf, offset, params.coeff_modulus)
+    p1, offset = _unpack_poly(buf, offset, params.coeff_modulus)
+    _check_consumed(buf, offset)
+    return PublicKey(params, p0, p1)
+
+
+def dump_relin_key(key: RelinKey) -> bytes:
+    parts = [
+        _pack_params_body(key.params),
+        _pack_int(key.base_bits),
+        struct.pack("<I", key.component_count),
+    ]
+    for rk0, rk1 in key.pairs:
+        parts.append(_pack_poly(rk0))
+        parts.append(_pack_poly(rk1))
+    return _frame(_KIND_RELIN_KEY, b"".join(parts))
+
+
+def load_relin_key(data: bytes) -> RelinKey:
+    buf = _unframe(data, _KIND_RELIN_KEY)
+    params, offset = _unpack_params_body(buf, 0)
+    base_bits, offset = _unpack_int(buf, offset)
+    if offset + 4 > len(buf):
+        raise SerializationError("truncated relin component count")
+    (count,) = struct.unpack_from("<I", buf, offset)
+    offset += 4
+    pairs = []
+    for _ in range(count):
+        rk0, offset = _unpack_poly(buf, offset, params.coeff_modulus)
+        rk1, offset = _unpack_poly(buf, offset, params.coeff_modulus)
+        pairs.append((rk0, rk1))
+    _check_consumed(buf, offset)
+    return RelinKey(params, base_bits, tuple(pairs))
+
+
+def _check_consumed(buf: memoryview, offset: int) -> None:
+    if offset != len(buf):
+        raise SerializationError(
+            f"{len(buf) - offset} trailing bytes after object body"
+        )

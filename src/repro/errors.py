@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries. Subclasses are
+grouped by subsystem: parameter validation, cryptographic state, device
+model, and experiment harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Invalid or inconsistent scheme / model parameters.
+
+    Raised when encryption parameters fail validation (e.g. a plaintext
+    modulus that does not fit the coefficient modulus) or when a device
+    model is configured with impossible values (e.g. zero DPUs).
+    """
+
+
+class EncodingError(ReproError, ValueError):
+    """A value cannot be encoded into (or decoded from) a plaintext."""
+
+
+class KeyError_(ReproError):
+    """A key is missing, malformed, or inconsistent with the parameters.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`KeyError`.
+    """
+
+
+class CiphertextError(ReproError, ValueError):
+    """A ciphertext is malformed or incompatible with an operation."""
+
+
+class NoiseBudgetExhaustedError(ReproError):
+    """The invariant noise exceeded the decryption threshold.
+
+    Decrypting such a ciphertext would return garbage; the evaluator
+    raises this instead when ``strict_noise`` checking is enabled.
+    """
+
+
+class DeviceError(ReproError):
+    """The device model was asked to do something physically impossible.
+
+    Examples: a kernel working set exceeding WRAM, a transfer larger
+    than MRAM, or launching more tasklets than the hardware supports.
+    """
+
+
+class CapacityError(DeviceError):
+    """A buffer allocation exceeded the modelled memory capacity."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification is unknown or malformed."""

@@ -1,0 +1,80 @@
+"""ASCII chart rendering: draw the paper's figures in a terminal.
+
+The paper's figures are grouped bar charts of execution time (log-ish
+scale across four platforms). This renderer produces a faithful
+terminal rendition — log-scaled horizontal bars, grouped by
+configuration — so ``repro-experiments chart fig1a`` visually mirrors
+Figure 1(a) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+from repro.harness.experiments import Experiment
+
+#: Bar glyph (ASCII-safe).
+BAR = "#"
+
+#: Width of the bar area in characters.
+DEFAULT_WIDTH = 48
+
+
+def _log_length(value: float, lo: float, hi: float, width: int) -> int:
+    """Map a value onto a log-scaled bar length in [1, width]."""
+    if value <= 0:
+        return 0
+    if hi <= lo:
+        return width
+    position = (math.log10(value) - math.log10(lo)) / (
+        math.log10(hi) - math.log10(lo)
+    )
+    return max(1, round(1 + position * (width - 1)))
+
+
+def render_bar_chart(rows, unit: str = "", width: int = DEFAULT_WIDTH) -> str:
+    """Grouped horizontal bar chart of experiment rows (log scale).
+
+    One group per row (x-axis configuration), one bar per series
+    (platform), annotated with the numeric value.
+    """
+    if width < 8:
+        raise ParameterError(f"chart width too small: {width}")
+    if not rows:
+        raise ParameterError("no rows to chart")
+    values = [
+        v for row in rows for v in row.series.values() if v > 0
+    ]
+    if not values:
+        raise ParameterError("no positive values to chart")
+    lo, hi = min(values), max(values)
+    name_width = max(
+        len(name) for row in rows for name in row.series
+    )
+    lines = []
+    for row in rows:
+        lines.append(f"{row.label}:")
+        for name, value in row.series.items():
+            bar = BAR * _log_length(value, lo, hi, width)
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar.ljust(width)}| "
+                f"{value:,.3f} {unit}".rstrip()
+            )
+        lines.append("")
+    lines.append(
+        f"(log scale: left edge {lo:,.3f} {unit}, "
+        f"right edge {hi:,.3f} {unit})".rstrip()
+    )
+    return "\n".join(lines)
+
+
+def render_experiment_chart(
+    experiment: Experiment, rows, width: int = DEFAULT_WIDTH
+) -> str:
+    """Chart one experiment with its title block."""
+    header = (
+        f"== {experiment.id}: {experiment.title} ==\n"
+        f"Paper reference: {experiment.paper_ref}\n"
+    )
+    return header + render_bar_chart(rows, experiment.unit, width)

@@ -1,0 +1,205 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Subcommands:
+
+* ``list`` — show all registered experiments;
+* ``run <id> [<id> ...]`` — run experiments and print their tables;
+* ``report [-o FILE]`` — run everything and write the markdown
+  paper-vs-measured report (the generator of EXPERIMENTS.md);
+* ``platforms`` — describe the modelled platforms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.backends import get_backend
+from repro.backends.registry import BACKEND_ORDER
+from repro.harness.experiments import EXPERIMENTS, get_experiment
+from repro.harness.report import format_experiment, render_markdown_report
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for eid, experiment in EXPERIMENTS.items():
+        print(f"{eid.ljust(width)}  {experiment.paper_ref}: {experiment.title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    for eid in args.ids:
+        experiment = get_experiment(eid)
+        print(format_experiment(experiment, experiment.run()))
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    report = render_markdown_report(args.ids or None)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_platforms(_args) -> int:
+    for name in BACKEND_ORDER:
+        print(f"{name}: {get_backend(name).describe()}")
+    return 0
+
+
+def _cmd_scorecard(_args) -> int:
+    from repro.harness.scorecard import render_scorecard
+
+    print(render_scorecard())
+    return 0
+
+
+def _cmd_chart(args) -> int:
+    from repro.harness.charts import render_experiment_chart
+
+    for eid in args.ids:
+        experiment = get_experiment(eid)
+        print(render_experiment_chart(experiment, experiment.run(), args.width))
+        print()
+    return 0
+
+
+def _cmd_verify(_args) -> int:
+    """Run the functional pipelines end to end on a small ring.
+
+    Exercises encrypt → evaluate → decrypt for every workload plus the
+    rotation and device-kernel paths; each step asserts exact agreement
+    with plaintext references internally.
+    """
+    from repro.core import BFVParameters, KeyGenerator
+    from repro.core.galois import rotate_rows
+    from repro.pim.executor import DeviceEvaluator
+    from repro.poly.modring import find_ntt_prime
+    from repro.workloads import (
+        LinearRegressionWorkload,
+        MeanWorkload,
+        VarianceWorkload,
+        VectorAddWorkload,
+        VectorMulWorkload,
+        WorkloadContext,
+    )
+    from repro.workloads.covariance import CovarianceWorkload
+
+    params = BFVParameters(
+        poly_degree=64,
+        coeff_modulus=find_ntt_prime(60, 64),
+        plain_modulus=257,
+    )
+    context = WorkloadContext.from_params(params, seed=17)
+    print(f"verification ring: {params.describe()}")
+
+    checks = [
+        ("vector addition", lambda: VectorAddWorkload().run_functional(context, batch=2)),
+        ("vector multiplication", lambda: VectorMulWorkload().run_functional(context, batch=1)),
+        ("arithmetic mean", lambda: MeanWorkload().run_functional(
+            context, n_users=6, samples_per_user=3, high=8)),
+        ("variance", lambda: VarianceWorkload().run_functional(
+            context, n_users=5, samples_per_user=2, high=5)),
+        ("linear regression", lambda: LinearRegressionWorkload().run_functional(
+            context, n_samples=8, feature_high=3, noise=1)),
+        ("covariance", lambda: CovarianceWorkload().run_functional(
+            context, n_users=5, samples_per_user=2, high=5)),
+    ]
+
+    def rotation_check():
+        keygen = KeyGenerator(params, seed=17)
+        galois = keygen.generate_galois_keys(context.keys.secret_key, steps=[1])
+        row = params.poly_degree // 2
+        values = list(range(-8, 8)) + [0] * (row - 16)  # one full row
+        rotated = rotate_rows(context.encrypt_slots(values), 1, galois)
+        expected = values[1:] + values[:1] + [0] * row  # row 1 is empty
+        got = context.decrypt_slots(rotated)
+        assert got == expected, (got, expected)
+        return True
+
+    def device_kernel_check():
+        device = DeviceEvaluator(params)
+        a = context.encrypt_slots([1, 2, 3])
+        b = context.encrypt_slots([10, 20, 30])
+        device_sum, _run = device.add(a, b)
+        host_sum = context.evaluator.add(a, b)
+        assert device_sum == host_sum
+        return True
+
+    checks.append(("slot rotation (Galois)", rotation_check))
+    checks.append(("device-kernel addition", device_kernel_check))
+
+    for name, check in checks:
+        check()
+        print(f"  {name}: OK")
+    print("all functional verifications passed")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the experiments of 'Evaluating Homomorphic "
+            "Operations on a Real-World Processing-In-Memory System' "
+            "(IISWC 2023)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run experiments and print tables")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids")
+    run_parser.set_defaults(func=_cmd_run)
+
+    report_parser = sub.add_parser(
+        "report", help="write the markdown paper-vs-model report"
+    )
+    report_parser.add_argument("ids", nargs="*", help="subset of experiments")
+    report_parser.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    report_parser.set_defaults(func=_cmd_report)
+
+    sub.add_parser(
+        "platforms", help="describe the modelled platforms"
+    ).set_defaults(func=_cmd_platforms)
+
+    sub.add_parser(
+        "scorecard",
+        help="classify every paper claim against the model's ratios",
+    ).set_defaults(func=_cmd_scorecard)
+
+    chart_parser = sub.add_parser(
+        "chart", help="draw experiments as terminal bar charts"
+    )
+    chart_parser.add_argument("ids", nargs="+", help="experiment ids")
+    chart_parser.add_argument(
+        "-w", "--width", type=int, default=48, help="bar width in characters"
+    )
+    chart_parser.set_defaults(func=_cmd_chart)
+
+    sub.add_parser(
+        "verify",
+        help="run every workload end to end on a small ring and check "
+        "against plaintext references",
+    ).set_defaults(func=_cmd_verify)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

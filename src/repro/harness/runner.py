@@ -1,0 +1,19 @@
+"""Experiment runner: execute registered experiments by id."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import EXPERIMENTS, get_experiment
+
+
+def run_experiment(experiment_id: str) -> list:
+    """Run one experiment and return its rows."""
+    return get_experiment(experiment_id).run()
+
+
+def run_all(ids=None) -> dict:
+    """Run several experiments (default: all), id -> rows.
+
+    Runs in registry order so reports are stable.
+    """
+    selected = list(EXPERIMENTS) if ids is None else list(ids)
+    return {eid: run_experiment(eid) for eid in selected}

@@ -1,0 +1,118 @@
+"""Carry-chain addition, subtraction, and comparison on limb vectors.
+
+These routines mirror the UPMEM implementation described in the paper
+(Section 3): the DPU natively supports 32-bit ``add`` and 32-bit
+``addc`` (add with carry-in), from which 64-bit, 128-bit — and in
+general any multiple-of-32-bit — addition is assembled as a carry
+chain. Subtraction uses the analogous ``sub``/``subc`` borrow chain.
+
+Each function charges the abstract operations it performs to the
+caller's :class:`~repro.mpint.cost.OpTally`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.mpint.cost import OpTally
+from repro.mpint.limbs import LIMB_MASK, Limbs
+
+
+def _check_same_length(a: Limbs, b: Limbs) -> int:
+    if len(a) != len(b):
+        raise ParameterError(
+            f"limb vectors must have equal length, got {len(a)} and {len(b)}"
+        )
+    if not a:
+        raise ParameterError("limb vectors must be non-empty")
+    return len(a)
+
+
+def add_with_carry(a: Limbs, b: Limbs, tally: OpTally) -> tuple:
+    """Add two equal-length limb vectors; return ``(sum_limbs, carry_out)``.
+
+    Charges one ``add`` for the least-significant limb and one ``addc``
+    per remaining limb — the exact instruction sequence of the paper's
+    wide addition (e.g. 128-bit addition is ``add`` + 3×``addc``).
+
+    >>> t = OpTally()
+    >>> add_with_carry((LIMB_MASK, 0), (1, 0), t)
+    ((0, 1), 0)
+    >>> t.as_dict()
+    {'add': 1, 'addc': 1}
+    """
+    n = _check_same_length(a, b)
+    out = []
+    carry = 0
+    for i in range(n):
+        tally.charge("add" if i == 0 else "addc")
+        s = a[i] + b[i] + carry
+        out.append(s & LIMB_MASK)
+        carry = s >> 32
+    return tuple(out), carry
+
+
+def sub_with_borrow(a: Limbs, b: Limbs, tally: OpTally) -> tuple:
+    """Subtract ``b`` from ``a``; return ``(diff_limbs, borrow_out)``.
+
+    The difference is two's-complement wrapped when ``a < b`` (in which
+    case ``borrow_out`` is 1), matching the hardware borrow chain.
+    """
+    n = _check_same_length(a, b)
+    out = []
+    borrow = 0
+    for i in range(n):
+        tally.charge("sub" if i == 0 else "subc")
+        d = a[i] - b[i] - borrow
+        out.append(d & LIMB_MASK)
+        borrow = 1 if d < 0 else 0
+    return tuple(out), borrow
+
+
+def compare(a: Limbs, b: Limbs, tally: OpTally) -> int:
+    """Three-way compare: -1 if ``a < b``, 0 if equal, 1 if ``a > b``.
+
+    Scans from the most significant limb and stops at the first
+    difference, charging one ``cmp`` (plus the loop ``branch``) per limb
+    examined — the count is data-dependent, as on real hardware.
+    """
+    n = _check_same_length(a, b)
+    for i in reversed(range(n)):
+        tally.charge("cmp")
+        tally.charge("branch")
+        if a[i] != b[i]:
+            return 1 if a[i] > b[i] else -1
+    return 0
+
+
+def conditional_subtract(a: Limbs, modulus: Limbs, tally: OpTally) -> Limbs:
+    """Return ``a - modulus`` if ``a >= modulus``, else ``a`` unchanged.
+
+    This is the standard single-conditional-subtraction reduction used
+    after a modular addition, where the sum of two residues is always
+    below ``2 * modulus``. The caller must guarantee that precondition
+    (it holds for all uses inside the device kernels); the reduction is
+    then exact.
+    """
+    if compare(a, modulus, tally) >= 0:
+        diff, borrow = sub_with_borrow(a, modulus, tally)
+        if borrow:
+            raise ParameterError(
+                "conditional_subtract precondition violated: borrow out"
+            )
+        return diff
+    return a
+
+
+def negate_mod(a: Limbs, modulus: Limbs, tally: OpTally) -> Limbs:
+    """Return ``(-a) mod modulus`` for a residue ``a < modulus``.
+
+    Zero maps to zero (charged one compare against zero); any other
+    residue costs one subtraction chain ``modulus - a``.
+    """
+    zero = (0,) * len(a)
+    if compare(a, zero, tally) == 0:
+        return a
+    diff, borrow = sub_with_borrow(modulus, a, tally)
+    if borrow:
+        raise ParameterError("negate_mod requires a < modulus")
+    return diff

@@ -1,0 +1,132 @@
+"""Configuration of the modelled UPMEM system.
+
+Every constant carries a provenance note: the paper itself (Section
+4.1), the PrIM characterization papers it cites ([38, 39] — Gómez-Luna
+et al., "Benchmarking a New Paradigm: Experimental Analysis and
+Characterization of a Real Processing-in-Memory System"), or the UPMEM
+SDK documentation [44]. Constants are system-wide and never tuned per
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class UPMEMConfig:
+    """Parameters of one UPMEM PIM system.
+
+    The defaults describe the paper's evaluation platform.
+    """
+
+    #: Number of DPUs (PIM cores). Paper Section 4.1: 2,524.
+    n_dpus: int = 2524
+
+    #: DPU clock frequency in Hz. Paper Section 4.1: 425 MHz.
+    frequency_hz: float = 425e6
+
+    #: MRAM (DRAM bank) per DPU. UPMEM SDK [44]: 64 MB.
+    #: 2,524 x 64 MB = 157.75 GB, matching the paper's "158 GB".
+    mram_per_dpu_bytes: int = 64 * 1024 * 1024
+
+    #: WRAM scratchpad per DPU. UPMEM SDK [44]: 64 KB.
+    wram_per_dpu_bytes: int = 64 * 1024
+
+    #: Instruction memory per DPU. UPMEM SDK [44]: 24 KB IRAM.
+    iram_per_dpu_bytes: int = 24 * 1024
+
+    #: Hardware threads (tasklets) per DPU. UPMEM SDK [44]: up to 24.
+    max_tasklets: int = 24
+
+    #: Pipeline revolving latency: a tasklet may issue at most one
+    #: instruction every this many cycles, so this many tasklets are
+    #: needed for full dispatch throughput. PrIM [39]: 11.
+    pipeline_revolve_cycles: int = 11
+
+    #: Aggregate internal (DPU<->MRAM) bandwidth. Paper Section 4.1:
+    #: 2,145 GB/s across the whole system.
+    aggregate_mram_bandwidth_bytes_per_s: float = 2145e9
+
+    #: Fixed cost of one MRAM<->WRAM DMA transaction, in cycles.
+    #: PrIM [39] measures ~77 cycles of fixed latency per access on top
+    #: of the streaming term.
+    dma_fixed_cycles: int = 77
+
+    #: Host->DPU parallel copy bandwidth (all ranks engaged).
+    #: PrIM [39], Fig. 6: ~6.7 GB/s aggregate for parallel transfers.
+    host_to_dpu_bandwidth_bytes_per_s: float = 6.7e9
+
+    #: DPU->host parallel copy bandwidth. PrIM [39]: ~4.7 GB/s
+    #: aggregate (retrieve is slower than copy).
+    dpu_to_host_bandwidth_bytes_per_s: float = 4.7e9
+
+    #: Fixed program-launch plus completion-synchronization overhead per
+    #: kernel launch, in seconds. PrIM [39] reports launch overheads in
+    #: the hundreds of microseconds at full-system scale; 0.35 ms is the
+    #: mid-range value. This constant is what makes small-workload PIM
+    #: latency flat (the paper's Observation 4 in Section 4.3).
+    launch_overhead_s: float = 350e-6
+
+    def __post_init__(self):
+        if self.n_dpus <= 0:
+            raise ParameterError(f"n_dpus must be positive: {self.n_dpus}")
+        if self.frequency_hz <= 0:
+            raise ParameterError(f"frequency must be positive: {self.frequency_hz}")
+        if self.max_tasklets <= 0:
+            raise ParameterError(f"max_tasklets must be positive: {self.max_tasklets}")
+        if self.pipeline_revolve_cycles <= 0:
+            raise ParameterError(
+                f"pipeline_revolve_cycles must be positive: "
+                f"{self.pipeline_revolve_cycles}"
+            )
+        for name in (
+            "mram_per_dpu_bytes",
+            "wram_per_dpu_bytes",
+            "iram_per_dpu_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ParameterError(f"{name} must be positive")
+        for name in (
+            "aggregate_mram_bandwidth_bytes_per_s",
+            "host_to_dpu_bandwidth_bytes_per_s",
+            "dpu_to_host_bandwidth_bytes_per_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ParameterError(f"{name} must be positive")
+        if self.launch_overhead_s < 0:
+            raise ParameterError("launch_overhead_s must be non-negative")
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def total_pim_memory_bytes(self) -> int:
+        """System PIM capacity (the paper's '158 GB')."""
+        return self.n_dpus * self.mram_per_dpu_bytes
+
+    @property
+    def mram_bandwidth_per_dpu_bytes_per_s(self) -> float:
+        """Streaming MRAM bandwidth available to one DPU."""
+        return self.aggregate_mram_bandwidth_bytes_per_s / self.n_dpus
+
+    @property
+    def dma_cycles_per_byte(self) -> float:
+        """Streaming DMA cost: cycles spent per byte moved MRAM<->WRAM."""
+        return self.frequency_hz / self.mram_bandwidth_per_dpu_bytes_per_s
+
+    @property
+    def peak_instruction_throughput_per_s(self) -> float:
+        """System-wide peak: one instruction per DPU per cycle."""
+        return self.n_dpus * self.frequency_hz
+
+    def describe(self) -> str:
+        """One-line summary used by experiment reports."""
+        return (
+            f"UPMEM({self.n_dpus} DPUs @ "
+            f"{self.frequency_hz / 1e6:.0f} MHz, "
+            f"{self.total_pim_memory_bytes / 2**30:.0f} GiB PIM memory, "
+            f"{self.aggregate_mram_bandwidth_bytes_per_s / 1e9:.0f} GB/s "
+            f"internal)"
+        )

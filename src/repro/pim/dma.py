@@ -1,0 +1,67 @@
+"""MRAM <-> WRAM DMA cost model.
+
+DPU code cannot operate on MRAM directly: kernels stream blocks into
+the 64 KB WRAM scratchpad through a per-DPU DMA engine, operate, and
+stream results back. PrIM [39] characterizes this engine as a fixed
+per-transaction latency plus a streaming term; at the system level the
+streaming terms add up to the paper's 2,145 GB/s aggregate figure.
+
+The model here prices a kernel's MRAM traffic as::
+
+    cycles = n_transactions * fixed + ceil(bytes * cycles_per_byte)
+
+and the runtime overlaps DMA with compute across tasklets (while one
+tasklet waits on its DMA, others keep the pipeline busy), so a kernel's
+time is ``max(compute_cycles, dma_cycles)`` — the roofline the PrIM
+papers observe on streaming kernels.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+from repro.pim.config import UPMEMConfig
+
+#: Largest single DMA transaction the SDK allows (2 KB); streaming
+#: kernels move blocks of this size to amortize the fixed latency.
+MAX_DMA_BLOCK_BYTES = 2048
+
+
+def dma_cycles(
+    total_bytes: int,
+    config: UPMEMConfig,
+    block_bytes: int = MAX_DMA_BLOCK_BYTES,
+) -> float:
+    """Cycles one DPU spends moving ``total_bytes`` between MRAM and WRAM.
+
+    ``block_bytes`` is the transaction size the kernel uses; smaller
+    blocks pay the ~77-cycle fixed cost more often (the effect PrIM's
+    "MRAM bandwidth vs. access size" experiment measures).
+    """
+    if total_bytes < 0:
+        raise ParameterError(f"total_bytes must be non-negative: {total_bytes}")
+    if not 8 <= block_bytes <= MAX_DMA_BLOCK_BYTES:
+        raise ParameterError(
+            f"block_bytes must be in [8, {MAX_DMA_BLOCK_BYTES}]: {block_bytes}"
+        )
+    if total_bytes == 0:
+        return 0.0
+    n_transactions = math.ceil(total_bytes / block_bytes)
+    return (
+        n_transactions * config.dma_fixed_cycles
+        + total_bytes * config.dma_cycles_per_byte
+    )
+
+
+def streaming_bandwidth_bytes_per_s(
+    config: UPMEMConfig, block_bytes: int = MAX_DMA_BLOCK_BYTES
+) -> float:
+    """Effective per-DPU MRAM bandwidth at a given transaction size.
+
+    Useful for reports: shows how small transactions erode the
+    per-DPU share of the 2,145 GB/s aggregate.
+    """
+    cycles = dma_cycles(block_bytes, config, block_bytes)
+    seconds = cycles / config.frequency_hz
+    return block_bytes / seconds

@@ -1,0 +1,178 @@
+"""Device-functional execution: ciphertext operations through kernels.
+
+The timing model prices kernels from sampled executions; this module
+closes the loop the other way — it runs *actual homomorphic
+operations* through the device kernels' limb arithmetic and returns
+bit-exact ciphertexts, proving that the code being priced is the code
+that computes the paper's workloads.
+
+:class:`DeviceEvaluator` covers the operations the paper's device
+executes without host help:
+
+* ciphertext **addition** (the Figure 1(a) / 2(a) inner loop) via
+  :class:`~repro.pim.kernels.vecadd.VecAddKernel`;
+* many-ciphertext **accumulation** (the mean workload) via
+  :class:`~repro.pim.kernels.reduce.ReduceSumKernel`;
+* the ciphertext **tensor product** (multiplication's device portion,
+  in the element-wise evaluation-domain convention of DESIGN.md) via
+  :class:`~repro.pim.kernels.tensor.TensorMulKernel`.
+
+Every call returns the result plus a :class:`DeviceRun` record holding
+the exact operation tally and the modelled timing for the same shape.
+Intended for verification and small demos — Python limb arithmetic at
+n = 4096 is slow; the timing path alone handles paper-scale sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ciphertext import Ciphertext
+from repro.core.params import BFVParameters
+from repro.errors import CiphertextError, ParameterError
+from repro.mpint.cost import OpTally
+from repro.pim.kernels import ReduceSumKernel, TensorMulKernel, VecAddKernel
+from repro.pim.runtime import KernelTiming, PIMRuntime
+from repro.poly.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class DeviceRun:
+    """Record of one device-functional kernel execution."""
+
+    kernel_name: str
+    n_elements: int
+    tally: OpTally
+    timing: KernelTiming
+
+    @property
+    def measured_cycles(self) -> float:
+        """Cycles of the *actual* execution under the ISA table."""
+        from repro.pim.isa import cycles_for_tally
+
+        return cycles_for_tally(self.tally)
+
+
+class DeviceEvaluator:
+    """Executes homomorphic device work through the limb kernels."""
+
+    def __init__(self, params: BFVParameters, runtime: PIMRuntime | None = None):
+        self.params = params
+        self.runtime = runtime if runtime is not None else PIMRuntime()
+        limbs = params.limbs_per_coefficient
+        q = params.coeff_modulus
+        self._add_kernel = VecAddKernel(limbs, q)
+        self._tensor_kernel = TensorMulKernel(limbs)
+        self._reduce_kernel = ReduceSumKernel(limbs, q)
+
+    # -- operations -------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> tuple:
+        """Ciphertext addition through the vec_add kernel.
+
+        Returns ``(ciphertext, DeviceRun)``; the ciphertext is
+        bit-identical to :meth:`repro.core.evaluator.Evaluator.add`.
+        """
+        self._check(a)
+        a.check_compatible(b)
+        if a.size != b.size:
+            raise CiphertextError(
+                "device add expects equal-size ciphertexts "
+                f"(got {a.size} and {b.size})"
+            )
+        elements = [
+            (ca, cb)
+            for pa, pb in zip(a.polys, b.polys)
+            for ca, cb in zip(pa.coeffs, pb.coeffs)
+        ]
+        outputs, tally = self._add_kernel.execute(elements)
+        polys = self._rebuild_polys(outputs, a.size)
+        timing = self.runtime.time_kernel(
+            self._add_kernel, len(elements), work_units=1
+        )
+        run = DeviceRun(
+            self._add_kernel.name, len(elements), tally, timing
+        )
+        return Ciphertext(self.params, polys), run
+
+    def sum_many(self, ciphertexts) -> tuple:
+        """Accumulate ciphertexts through the reduce_sum kernel.
+
+        The device streams every user's coefficient through a running
+        modular accumulator (one per coefficient position), exactly as
+        the mean workload's kernel does. Returns
+        ``(ciphertext, DeviceRun)``.
+        """
+        cts = list(ciphertexts)
+        if not cts:
+            raise CiphertextError("sum_many needs at least one ciphertext")
+        size = cts[0].size
+        for ct in cts:
+            self._check(ct)
+            if ct.size != size:
+                raise CiphertextError("device sum expects equal-size inputs")
+        n = self.params.poly_degree
+        tally = OpTally()
+        sums = []
+        for component in range(size):
+            component_sums = []
+            for position in range(n):
+                self._reduce_kernel.reset()
+                for ct in cts:
+                    self._reduce_kernel.run_element(
+                        ct.polys[component].coeffs[position], tally
+                    )
+                component_sums.append(self._reduce_kernel.accumulator)
+            sums.append(Polynomial(component_sums, self.params.coeff_modulus))
+        n_elements = len(cts) * size * n
+        timing = self.runtime.time_kernel(
+            self._reduce_kernel, n_elements, work_units=len(cts)
+        )
+        run = DeviceRun(self._reduce_kernel.name, n_elements, tally, timing)
+        return Ciphertext(self.params, sums), run
+
+    def tensor(self, a: Ciphertext, b: Ciphertext) -> tuple:
+        """Element-wise tensor product through the tensor_mul kernel.
+
+        Returns ``((d0, d1, d2) coefficient tuples, DeviceRun)`` — raw
+        double-width products, as the device hands them back for the
+        host-side BFV scaling step.
+        """
+        self._check(a)
+        a.check_compatible(b)
+        if a.size != 2 or b.size != 2:
+            raise CiphertextError("device tensor expects size-2 operands")
+        elements = [
+            (a0, a1, b0, b1)
+            for a0, a1, b0, b1 in zip(
+                a.polys[0].coeffs,
+                a.polys[1].coeffs,
+                b.polys[0].coeffs,
+                b.polys[1].coeffs,
+            )
+        ]
+        outputs, tally = self._tensor_kernel.execute(elements)
+        timing = self.runtime.time_kernel(
+            self._tensor_kernel, len(elements), work_units=1
+        )
+        run = DeviceRun(
+            self._tensor_kernel.name, len(elements), tally, timing
+        )
+        d0 = tuple(o[0] for o in outputs)
+        d1 = tuple(o[1] for o in outputs)
+        d2 = tuple(o[2] for o in outputs)
+        return (d0, d1, d2), run
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check(self, ct: Ciphertext) -> None:
+        if ct.params != self.params:
+            raise ParameterError("ciphertext belongs to different parameters")
+
+    def _rebuild_polys(self, flat_outputs, size: int) -> list:
+        n = self.params.poly_degree
+        q = self.params.coeff_modulus
+        return [
+            Polynomial(flat_outputs[i * n : (i + 1) * n], q)
+            for i in range(size)
+        ]

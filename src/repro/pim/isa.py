@@ -1,0 +1,73 @@
+"""Instruction cost table for the modelled DPU.
+
+The DPU is a single-issue in-order core: once the pipeline is saturated
+(>= 11 tasklets), **every instruction retires in one cycle** — there is
+no superscalar dispatch, no SIMD, and no variable-latency ALU op
+visible to software (multi-cycle operations like multiplication simply
+do not exist as single instructions wider than 8 bits; they are
+software loops, which is exactly why this table can be flat).
+
+The table maps the abstract operation names charged by
+:mod:`repro.mpint` and the kernels to cycles. Keeping it explicit (and
+all-ones) documents the assumption and gives ablation experiments a
+single point to perturb — e.g. ``bench_ablation_native_mul`` prices a
+hypothetical future DPU with a native 32-bit multiplier by overriding
+the ``mul32_native`` entry, quantifying the paper's Key Takeaway 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ParameterError
+from repro.mpint.cost import KNOWN_OPS, OpTally
+
+#: Cycles per abstract operation on the first-generation DPU. Loads and
+#: stores hit WRAM (single-cycle scratchpad); MRAM traffic is priced
+#: separately by the DMA model.
+DEFAULT_CYCLES_PER_OP: dict = {op: 1.0 for op in KNOWN_OPS}
+
+
+def cycles_for_tally(
+    tally: OpTally, cycles_per_op: Mapping | None = None
+) -> float:
+    """Price an operation tally in DPU cycles.
+
+    ``cycles_per_op`` defaults to :data:`DEFAULT_CYCLES_PER_OP`;
+    operations absent from a custom table fall back to 1 cycle.
+    """
+    table = DEFAULT_CYCLES_PER_OP if cycles_per_op is None else cycles_per_op
+    return tally.weighted_total(table)
+
+
+def hypothetical_native_mul_table(mul_cycles: int = 3) -> dict:
+    """Cost table for a future DPU with native 32-bit multiply.
+
+    Used by the ablation benchmark for the paper's Key Takeaway 2
+    ("Future PIM systems with native 32-bit multiplication hardware
+    could potentially outperform CPUs and GPUs"): the entire software
+    shift-and-add loop is charged as if each :func:`repro.mpint.mul.mul32`
+    call were ``mul_cycles`` cycles. Implemented by zero-weighting the
+    loop's constituent ops is not possible (they are shared with other
+    code), so callers should instead rebuild tallies with
+    :func:`native_mul_tally`.
+    """
+    if mul_cycles <= 0:
+        raise ParameterError(f"mul_cycles must be positive: {mul_cycles}")
+    table = dict(DEFAULT_CYCLES_PER_OP)
+    table["mul8"] = float(mul_cycles)
+    return table
+
+
+def native_mul_tally(n_mul32: int, mul_cycles_each: int = 3) -> OpTally:
+    """A tally pricing ``n_mul32`` native 32-bit multiplies.
+
+    Charged as ``mul8`` operations (the only multiply opcode in the
+    table) with a custom weight applied via
+    :func:`hypothetical_native_mul_table`.
+    """
+    if n_mul32 < 0:
+        raise ParameterError(f"count must be non-negative: {n_mul32}")
+    tally = OpTally()
+    tally.charge("mul8", n_mul32)
+    return tally

@@ -1,0 +1,157 @@
+"""Kernel framework: functional execution with derived cycle costs.
+
+Design rule (DESIGN.md Section 5): *instruction counts are derived, not
+asserted*. A concrete kernel implements ``run_element`` — the real limb
+arithmetic for one element, charging every abstract operation it
+performs — plus a description of its memory behaviour. The framework
+provides:
+
+* :meth:`Kernel.execute` — run a whole buffer functionally, returning
+  outputs and the exact total tally (used by tests and small
+  workloads);
+* :meth:`Kernel.cycles_per_element` — the *expected* per-element cycle
+  cost, measured by executing a seeded random sample and averaging
+  (used by the analytic path for paper-sized workloads, where executing
+  billions of limb operations in Python would be pointless).
+
+Both paths run the same ``run_element`` code, so they cannot drift.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import DeviceError, ParameterError
+from repro.mpint.cost import OpTally
+from repro.pim.isa import cycles_for_tally
+
+#: Sample size for measured per-element costs. Large enough to average
+#: out data-dependent branches (set bits, carries) to well under 1%.
+COST_SAMPLE_SIZE = 96
+
+#: Seed for the cost-measurement sample. Fixed so modelled times are
+#: deterministic run to run.
+COST_SAMPLE_SEED = 0x5EED
+
+
+class Kernel(abc.ABC):
+    """One device kernel: per-element semantics + memory behaviour."""
+
+    #: Human-readable kernel name (shown in timing breakdowns).
+    name: str = "kernel"
+
+    def __init__(self, limbs: int):
+        if limbs <= 0:
+            raise ParameterError(f"limbs must be positive: {limbs}")
+        self.limbs = limbs
+        self._cached_cycles_per_element: float | None = None
+
+    # -- per-element contract -------------------------------------------------
+
+    @abc.abstractmethod
+    def run_element(self, element, tally: OpTally):
+        """Process one element functionally, charging operations.
+
+        ``element`` is whatever :meth:`random_element` produces (a
+        tuple of ints for binary kernels); the return value is the
+        kernel's per-element output.
+        """
+
+    @abc.abstractmethod
+    def random_element(self, rng: np.random.Generator):
+        """A uniformly random valid input element (for cost sampling)."""
+
+    @abc.abstractmethod
+    def mram_bytes_per_element(self) -> int:
+        """MRAM traffic (reads + writes) per element, in bytes."""
+
+    def footprint_bytes_per_element(self) -> int:
+        """MRAM *residency* per element, for the capacity check.
+
+        Defaults to the traffic figure (inputs and outputs both live in
+        the bank). Kernels whose outputs are consumed immediately by an
+        accumulator (e.g. the tensor product inside variance/regression)
+        override this with their input footprint only.
+        """
+        return self.mram_bytes_per_element()
+
+    # -- framework-provided execution ------------------------------------------
+
+    def execute(self, elements) -> tuple:
+        """Run the kernel over a sequence of elements.
+
+        Returns ``(outputs, tally)`` where ``tally`` is the exact total
+        operation count of the run.
+        """
+        tally = OpTally()
+        outputs = [self.run_element(e, tally) for e in elements]
+        return outputs, tally
+
+    def cycles_per_element(self) -> float:
+        """Measured expected cycles per element (cached).
+
+        Executes :data:`COST_SAMPLE_SIZE` seeded random elements and
+        prices the resulting tally with the DPU ISA table.
+        """
+        if self._cached_cycles_per_element is None:
+            rng = np.random.default_rng(COST_SAMPLE_SEED)
+            elements = [
+                self.random_element(rng) for _ in range(COST_SAMPLE_SIZE)
+            ]
+            _, tally = self.execute(elements)
+            self._cached_cycles_per_element = (
+                cycles_for_tally(tally) / COST_SAMPLE_SIZE
+            )
+        return self._cached_cycles_per_element
+
+    # -- shared memory-access accounting ---------------------------------------
+
+    def charge_loads(self, tally: OpTally, limbs: int) -> None:
+        """Charge WRAM loads for ``limbs`` 32-bit words.
+
+        The DPU has 64-bit load/store instructions, so two limbs move
+        per instruction.
+        """
+        tally.charge("load", -(-limbs // 2))
+
+    def charge_stores(self, tally: OpTally, limbs: int) -> None:
+        """Charge WRAM stores for ``limbs`` 32-bit words (64-bit wide)."""
+        tally.charge("store", -(-limbs // 2))
+
+    def charge_loop_overhead(self, tally: OpTally) -> None:
+        """Per-element loop bookkeeping: pointer bump, bound check, branch."""
+        tally.charge("move")
+        tally.charge("cmp")
+        tally.charge("branch")
+
+    # -- capacity checks ---------------------------------------------------------
+
+    def check_mram_fit(self, elements_per_dpu: int, mram_bytes: int) -> None:
+        """Raise :class:`~repro.errors.DeviceError` if a DPU's share of
+        the working set exceeds its MRAM bank."""
+        need = elements_per_dpu * self.footprint_bytes_per_element()
+        if need > mram_bytes:
+            raise DeviceError(
+                f"kernel {self.name!r}: {elements_per_dpu} elements need "
+                f"{need} bytes of MRAM, bank holds {mram_bytes}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(limbs={self.limbs})"
+
+
+def random_limb_value(rng: np.random.Generator, limbs: int) -> int:
+    """A uniform random ``limbs * 32``-bit unsigned integer."""
+    raw = rng.bytes(4 * limbs)
+    return int.from_bytes(raw, "little")
+
+
+def random_residue(rng: np.random.Generator, modulus: int, limbs: int) -> int:
+    """A roughly uniform residue below ``modulus`` (fits in ``limbs``).
+
+    Cost sampling does not need cryptographic uniformity; a single
+    modulo is fine.
+    """
+    return random_limb_value(rng, limbs) % modulus

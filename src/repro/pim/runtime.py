@@ -1,0 +1,207 @@
+"""PIM runtime: work distribution and end-to-end kernel timing.
+
+Ties the pieces together: given a kernel and a workload size, the
+runtime decides how many DPUs participate, splits elements across
+tasklets, prices compute (pipeline model) and MRAM traffic (DMA model),
+applies the launch overhead, and optionally adds host<->DPU transfers.
+
+Work distribution follows the paper's strategy (Section 4.3,
+Observation 4): work is assigned at the granularity of indivisible
+*work units* (ciphertexts, or users' ciphertext bundles), "dynamically
+adjusting the utilization of PIM cores" — a workload with 640 units
+engages 640 DPUs, one with 2,560 engages min(2560, 2524). Because each
+DPU's share then stays constant as units grow (until the system is
+full), PIM execution time stays flat while CPU/GPU times grow — exactly
+the behaviour Figure 2 reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError, ParameterError
+from repro.pim.config import UPMEMConfig
+from repro.pim.dma import dma_cycles
+from repro.pim.kernels.base import Kernel
+from repro.pim.tasklet import effective_tasklets, pipeline_cycles, split_evenly
+from repro.pim.transfer import TransferModel
+
+#: Default tasklets launched per DPU. Any value >= 11 saturates the
+#: pipeline (see :mod:`repro.pim.tasklet`); 16 matches common UPMEM
+#: practice (power of two, comfortably above the revolve depth).
+DEFAULT_TASKLETS = 16
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one modelled kernel invocation."""
+
+    kernel_name: str
+    n_elements: int
+    dpus_used: int
+    tasklets_per_dpu: int
+    cycles_per_element: float
+    compute_cycles: float  # per participating DPU (the slowest one)
+    dma_cycles: float  # per participating DPU
+    kernel_seconds: float  # max(compute, dma) / frequency
+    launch_seconds: float
+    host_to_dpu_seconds: float = 0.0
+    dpu_to_host_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.kernel_seconds
+            + self.launch_seconds
+            + self.host_to_dpu_seconds
+            + self.dpu_to_host_seconds
+        )
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_seconds * 1e3
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when the pipeline, not the DMA engine, is the bottleneck."""
+        return self.compute_cycles >= self.dma_cycles
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.kernel_name}: {self.total_ms:.3f} ms",
+            f"{self.dpus_used} DPUs x {self.tasklets_per_dpu} tasklets",
+            f"{'compute' if self.compute_bound else 'DMA'}-bound",
+            f"kernel {self.kernel_seconds * 1e3:.3f} ms",
+            f"launch {self.launch_seconds * 1e3:.3f} ms",
+        ]
+        if self.host_to_dpu_seconds or self.dpu_to_host_seconds:
+            parts.append(
+                f"transfers {(self.host_to_dpu_seconds + self.dpu_to_host_seconds) * 1e3:.3f} ms"
+            )
+        return " | ".join(parts)
+
+
+@dataclass
+class PIMRuntime:
+    """Times kernels on a modelled UPMEM system."""
+
+    config: UPMEMConfig = field(default_factory=UPMEMConfig)
+    tasklets: int = DEFAULT_TASKLETS
+
+    def __post_init__(self):
+        if not 1 <= self.tasklets <= self.config.max_tasklets:
+            raise ParameterError(
+                f"tasklets must be in [1, {self.config.max_tasklets}]: "
+                f"{self.tasklets}"
+            )
+        self.transfer = TransferModel(self.config)
+
+    # -- work distribution ------------------------------------------------------
+
+    def dpus_for(self, work_units: int) -> int:
+        """DPUs engaged for ``work_units`` indivisible units."""
+        if work_units <= 0:
+            raise ParameterError(f"work_units must be positive: {work_units}")
+        return min(self.config.n_dpus, work_units)
+
+    # -- timing -----------------------------------------------------------------
+
+    def time_kernel(
+        self,
+        kernel: Kernel,
+        n_elements: int,
+        work_units: int | None = None,
+        tasklets: int | None = None,
+        launches: int = 1,
+        include_transfer: bool = False,
+    ) -> KernelTiming:
+        """Price one kernel invocation over ``n_elements`` elements.
+
+        ``work_units`` is the number of indivisible chunks the elements
+        arrive in (defaults to ``n_elements``: fully divisible).
+        ``launches`` multiplies the fixed launch overhead for workloads
+        that need several dependent kernel rounds.
+        ``include_transfer`` adds host->DPU input scatter and
+        DPU->host result gather — off by default, matching the paper's
+        PIM-resident-data deployment model.
+        """
+        if n_elements <= 0:
+            raise ParameterError(f"n_elements must be positive: {n_elements}")
+        if launches <= 0:
+            raise ParameterError(f"launches must be positive: {launches}")
+        if work_units is None:
+            work_units = n_elements
+        if work_units > n_elements:
+            raise ParameterError(
+                f"work_units ({work_units}) cannot exceed n_elements "
+                f"({n_elements})"
+            )
+
+        dpus = self.dpus_for(work_units)
+        units_per_dpu = math.ceil(work_units / dpus)
+        elements_per_dpu = units_per_dpu * math.ceil(n_elements / work_units)
+        kernel.check_mram_fit(elements_per_dpu, self.config.mram_per_dpu_bytes)
+
+        n_tasklets = effective_tasklets(
+            tasklets if tasklets is not None else self.tasklets,
+            self.config.max_tasklets,
+            elements_per_dpu,
+        )
+        cpe = kernel.cycles_per_element()
+        per_tasklet_elements = split_evenly(elements_per_dpu, n_tasklets)
+        per_tasklet_instructions = [
+            int(round(e * cpe)) for e in per_tasklet_elements
+        ]
+        compute = float(
+            pipeline_cycles(
+                per_tasklet_instructions, self.config.pipeline_revolve_cycles
+            )
+        )
+        dma = dma_cycles(
+            elements_per_dpu * kernel.mram_bytes_per_element(), self.config
+        )
+        kernel_seconds = max(compute, dma) / self.config.frequency_hz
+        launch_seconds = launches * self.config.launch_overhead_s
+
+        host_in = out = 0.0
+        if include_transfer:
+            total_bytes = n_elements * kernel.mram_bytes_per_element()
+            output_bytes = n_elements * _output_bytes(kernel)
+            input_bytes = max(total_bytes - output_bytes, 0)
+            host_in = self.transfer.host_to_dpu_seconds(input_bytes, dpus)
+            out = self.transfer.dpu_to_host_seconds(output_bytes, dpus)
+
+        return KernelTiming(
+            kernel_name=kernel.name,
+            n_elements=n_elements,
+            dpus_used=dpus,
+            tasklets_per_dpu=n_tasklets,
+            cycles_per_element=cpe,
+            compute_cycles=compute,
+            dma_cycles=dma,
+            kernel_seconds=kernel_seconds,
+            launch_seconds=launch_seconds,
+            host_to_dpu_seconds=host_in,
+            dpu_to_host_seconds=out,
+        )
+
+
+def _output_bytes(kernel: Kernel) -> int:
+    """Result bytes per element (for the transfer ablation).
+
+    Derived from the kernel type's semantics: full-width results for
+    addition, double-width for multiplication, triple double-width for
+    the tensor product, none streamed back for reductions.
+    """
+    name = kernel.name
+    if name == "vec_add":
+        return 4 * kernel.limbs
+    if name == "vec_mul":
+        return 8 * kernel.limbs
+    if name == "tensor_mul":
+        return 3 * 8 * kernel.limbs
+    if name == "reduce_sum":
+        return 0
+    # Conservative default: a full-width result per element.
+    return 4 * kernel.limbs

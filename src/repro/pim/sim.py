@@ -1,0 +1,278 @@
+"""Cycle-level DPU simulation: validating the analytic pipeline model.
+
+The runtime prices kernels with two closed forms — the pipeline bound
+``max(total_instructions, 11 * slowest_tasklet)`` and the DMA streaming
+cost — combined as ``max(compute, dma)``. Those forms are standard, but
+they are *models*; this module provides the ground truth they are
+checked against: an event-driven simulation of one DPU executing
+multiple tasklets, with
+
+* a dispatcher issuing at most one instruction per cycle, round-robin
+  among ready tasklets;
+* the revolve constraint: a tasklet may issue again only ``revolve``
+  cycles after its previous issue;
+* a single shared DMA engine: a tasklet reaching a DMA phase enqueues
+  its transfer (fixed cost + per-byte cost) and *blocks* until it
+  completes, while other tasklets keep the pipeline busy.
+
+Kernels are simulated as **streaming programs**: alternating
+(DMA-in, compute, DMA-out) phases over WRAM-sized blocks — the shape of
+every real UPMEM streaming kernel. ``tests/pim/test_sim.py`` and the
+``ext_sim_validation`` experiment assert the analytic model tracks the
+simulation within a few percent across kernels and tasklet counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.pim.config import UPMEMConfig
+
+#: Phase kinds.
+COMPUTE = "compute"
+DMA = "dma"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One tasklet phase: either compute (instructions) or DMA (bytes)."""
+
+    kind: str
+    amount: int  # instructions for COMPUTE, bytes for DMA
+
+    def __post_init__(self):
+        if self.kind not in (COMPUTE, DMA):
+            raise ParameterError(f"unknown phase kind {self.kind!r}")
+        if self.amount < 0:
+            raise ParameterError(f"phase amount must be >= 0: {self.amount}")
+
+
+@dataclass(frozen=True)
+class TaskletProgram:
+    """A tasklet's life: an ordered list of phases."""
+
+    phases: tuple
+
+    @classmethod
+    def streaming(
+        cls,
+        n_elements: int,
+        instructions_per_element: float,
+        in_bytes_per_element: int,
+        out_bytes_per_element: int,
+        block_elements: int,
+    ) -> "TaskletProgram":
+        """The canonical streaming kernel: per WRAM block, DMA the
+        operands in, compute, DMA the results out."""
+        if n_elements < 0 or block_elements <= 0:
+            raise ParameterError("bad streaming program shape")
+        phases = []
+        remaining = n_elements
+        while remaining > 0:
+            block = min(block_elements, remaining)
+            if in_bytes_per_element:
+                phases.append(Phase(DMA, block * in_bytes_per_element))
+            phases.append(
+                Phase(COMPUTE, max(1, round(block * instructions_per_element)))
+            )
+            if out_bytes_per_element:
+                phases.append(Phase(DMA, block * out_bytes_per_element))
+            remaining -= block
+        return cls(tuple(phases))
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(p.amount for p in self.phases if p.kind == COMPUTE)
+
+    @property
+    def total_dma_bytes(self) -> int:
+        return sum(p.amount for p in self.phases if p.kind == DMA)
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated DPU run."""
+
+    cycles: int
+    instructions_issued: int
+    dma_busy_cycles: float
+    tasklets: int
+
+    @property
+    def issue_utilization(self) -> float:
+        """Fraction of cycles with an instruction dispatched."""
+        return self.instructions_issued / self.cycles if self.cycles else 0.0
+
+    @property
+    def dma_utilization(self) -> float:
+        return self.dma_busy_cycles / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class _TaskletState:
+    program: TaskletProgram
+    phase_index: int = 0
+    remaining: int = 0
+    next_issue: int = 0
+    blocked_until: float = 0.0
+    done: bool = False
+
+    def current_phase(self):
+        if self.phase_index >= len(self.program.phases):
+            return None
+        return self.program.phases[self.phase_index]
+
+
+class DPUSimulator:
+    """Event-driven single-DPU simulator."""
+
+    def __init__(self, config: UPMEMConfig | None = None):
+        self.config = config if config is not None else UPMEMConfig()
+
+    def run(self, programs) -> SimResult:
+        """Simulate the given tasklet programs to completion."""
+        programs = list(programs)
+        if not programs:
+            raise ParameterError("need at least one tasklet program")
+        if len(programs) > self.config.max_tasklets:
+            raise ParameterError(
+                f"{len(programs)} tasklets exceed the hardware maximum "
+                f"{self.config.max_tasklets}"
+            )
+        revolve = self.config.pipeline_revolve_cycles
+
+        states = [_TaskletState(p) for p in programs]
+        dma_free = [0.0]  # shared engine: time it becomes available
+        dma_busy = 0.0
+        issued = 0
+        clock = 0
+        last_issued = -1  # round-robin pointer
+        for state in states:
+            dma_busy += self._advance_into_phase(state, 0.0, dma_free)
+
+        while any(not s.done for s in states):
+            # Find ready tasklets: in a compute phase, revolve satisfied,
+            # not blocked on DMA.
+            ready = [
+                i
+                for i, s in enumerate(states)
+                if not s.done
+                and s.remaining > 0
+                and s.next_issue <= clock
+                and s.blocked_until <= clock
+            ]
+            if ready:
+                # Round-robin starting after the last issuer.
+                choice = min(
+                    ready,
+                    key=lambda i: ((i - last_issued - 1) % len(states)),
+                )
+                state = states[choice]
+                state.remaining -= 1
+                state.next_issue = clock + revolve
+                issued += 1
+                last_issued = choice
+                if state.remaining == 0:
+                    state.phase_index += 1
+                    dma_busy += self._advance_into_phase(
+                        state, float(clock + 1), dma_free
+                    )
+                clock += 1
+                continue
+            # Nothing issuable: jump to the next event.
+            candidates = []
+            for s in states:
+                if s.done:
+                    continue
+                if s.remaining > 0 and s.blocked_until <= clock:
+                    candidates.append(s.next_issue)
+                elif s.blocked_until > clock:
+                    candidates.append(s.blocked_until)
+            if not candidates:
+                break  # all done
+            clock = max(clock + 1, int(-(-min(candidates) // 1)))
+
+        total_cycles = clock
+        # Account for a trailing DMA that finishes after the last issue.
+        trailing = max(
+            (s.blocked_until for s in states), default=0.0
+        )
+        total_cycles = max(total_cycles, int(-(-trailing // 1)))
+        return SimResult(
+            cycles=total_cycles,
+            instructions_issued=issued,
+            dma_busy_cycles=dma_busy,
+            tasklets=len(programs),
+        )
+
+    def _advance_into_phase(
+        self, state: _TaskletState, now: float, dma_free: list
+    ) -> float:
+        """Move a tasklet into its next runnable phase.
+
+        Consumes consecutive DMA phases (enqueueing them on the shared
+        engine and blocking the tasklet) until a compute phase or the
+        program's end is reached. Returns the DMA busy time added.
+        """
+        busy_added = 0.0
+        while True:
+            phase = state.current_phase()
+            if phase is None:
+                state.done = True
+                state.remaining = 0
+                return busy_added
+            if phase.kind == COMPUTE:
+                state.remaining = phase.amount
+                return busy_added
+            # DMA phase: serialize on the shared engine.
+            cost = (
+                self.config.dma_fixed_cycles
+                + phase.amount * self.config.dma_cycles_per_byte
+            )
+            start = max(now, dma_free[0], state.blocked_until)
+            completion = start + cost
+            dma_free[0] = completion
+            state.blocked_until = completion
+            busy_added += cost
+            state.phase_index += 1
+            now = completion
+
+
+def simulate_kernel(
+    kernel,
+    n_elements: int,
+    tasklets: int,
+    config: UPMEMConfig | None = None,
+    block_elements: int = 64,
+) -> SimResult:
+    """Simulate a device kernel's streaming execution on one DPU.
+
+    Elements are split evenly across tasklets; each tasklet streams its
+    share through WRAM blocks. Uses the kernel's measured
+    ``cycles_per_element`` and memory layout — the same inputs the
+    analytic model uses, so differences isolate the *combination* step
+    (max-of-rooflines vs real interleaving).
+    """
+    from repro.pim.tasklet import split_evenly
+
+    if tasklets <= 0:
+        raise ParameterError(f"tasklets must be positive: {tasklets}")
+    cpe = kernel.cycles_per_element()
+    out_bytes = _kernel_out_bytes(kernel)
+    in_bytes = kernel.mram_bytes_per_element() - out_bytes
+    programs = [
+        TaskletProgram.streaming(
+            share, cpe, in_bytes, out_bytes, block_elements
+        )
+        for share in split_evenly(n_elements, tasklets)
+        if share > 0
+    ]
+    return DPUSimulator(config).run(programs)
+
+
+def _kernel_out_bytes(kernel) -> int:
+    from repro.pim.runtime import _output_bytes
+
+    return min(_output_bytes(kernel), kernel.mram_bytes_per_element())

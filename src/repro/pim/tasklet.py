@@ -1,0 +1,81 @@
+"""The DPU's fine-grained multithreaded pipeline model.
+
+The UPMEM DPU hides its 14-stage pipeline latency by interleaving
+hardware threads (*tasklets*): the dispatcher issues one instruction
+per cycle, round-robin, but a given tasklet may only have one
+instruction in flight per **revolve period** (11 cycles on this
+generation). Two consequences, both reproduced here and both visible in
+the paper:
+
+* with ``T < 11`` tasklets the DPU retires at most ``T/11``
+  instructions per cycle — single-tasklet code runs ~11x slower than
+  the pipeline peak;
+* with ``T >= 11`` tasklets the DPU retires one instruction per cycle
+  and **adding more tasklets does not help** — "the performance of PIM
+  implementations saturates at 11 or more PIM threads" (Section 4.2,
+  Observation 1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ParameterError
+
+
+def pipeline_cycles(
+    per_tasklet_instructions: Sequence, revolve_cycles: int = 11
+) -> int:
+    """Cycles for a DPU to retire the given per-tasklet instruction counts.
+
+    The dispatch-limited bound is the total instruction count (one
+    dispatch per cycle); the revolve-limited bound is the longest
+    single tasklet's count times the revolve period (that tasklet
+    cannot issue faster regardless of what others do). The kernel
+    finishes when its slowest constraint does::
+
+        cycles = max(sum(counts), revolve_cycles * max(counts))
+
+    >>> pipeline_cycles([100] * 11)   # exactly saturated
+    1100
+    >>> pipeline_cycles([100] * 16)   # dispatch-limited
+    1600
+    >>> pipeline_cycles([100])        # single tasklet: 11x penalty
+    1100
+    """
+    counts = [int(c) for c in per_tasklet_instructions]
+    if not counts:
+        raise ParameterError("at least one tasklet is required")
+    if any(c < 0 for c in counts):
+        raise ParameterError(f"instruction counts must be non-negative: {counts}")
+    if revolve_cycles <= 0:
+        raise ParameterError(f"revolve_cycles must be positive: {revolve_cycles}")
+    return max(sum(counts), revolve_cycles * max(counts))
+
+
+def split_evenly(total: int, ways: int) -> list:
+    """Split ``total`` work items across ``ways`` workers as evenly as
+    possible (first ``total % ways`` workers get one extra item).
+
+    This is the static round-robin assignment the paper's kernels use:
+    each tasklet owns a contiguous slice of the coefficient array.
+    """
+    if ways <= 0:
+        raise ParameterError(f"ways must be positive: {ways}")
+    if total < 0:
+        raise ParameterError(f"total must be non-negative: {total}")
+    base, extra = divmod(total, ways)
+    return [base + (1 if i < extra else 0) for i in range(ways)]
+
+
+def effective_tasklets(
+    requested: int, max_tasklets: int, work_items: int
+) -> int:
+    """Tasklets actually worth launching for ``work_items`` elements.
+
+    Clamped to the hardware maximum and to the number of work items —
+    launching a tasklet with no elements only adds scheduling noise.
+    """
+    if requested <= 0:
+        raise ParameterError(f"requested tasklets must be positive: {requested}")
+    return max(1, min(requested, max_tasklets, work_items))

@@ -1,0 +1,82 @@
+"""Host <-> DPU transfer model.
+
+Moving data between host DRAM and PIM-enabled memory happens over the
+ordinary memory bus, rank by rank, and is the UPMEM system's scarcest
+resource: a few GB/s aggregate against 2,145 GB/s of internal
+bandwidth. The paper's deployment model keeps ciphertexts *resident* in
+PIM memory (users upload encrypted data once; computation happens where
+the data lives), so kernel-time comparisons exclude these transfers —
+but the model is still needed for the residency-ablation experiment,
+which quantifies how much of the PIM advantage data residency is
+responsible for.
+
+Bandwidth scales with how many of the system's ranks participate in a
+parallel transfer (PrIM [39], Section 3.3): engaging a fraction of the
+DPUs engages a fraction of the ranks and so a fraction of the
+aggregate bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.pim.config import UPMEMConfig
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Prices host<->DPU copies under a given system configuration."""
+
+    config: UPMEMConfig
+
+    #: Fixed software overhead per transfer call (rank programming,
+    #: SDK bookkeeping). PrIM measures tens of microseconds.
+    per_transfer_overhead_s: float = 20e-6
+
+    #: Bandwidth floor of a serial (single-DPU) transfer. PrIM [39]
+    #: measures ~0.33 GB/s for serial CPU-DPU copies; parallelism over
+    #: ranks scales from there up to the aggregate peak.
+    single_dpu_bandwidth_bytes_per_s: float = 0.3e9
+
+    def _effective_bandwidth(self, peak: float, dpus_used: int) -> float:
+        if not 1 <= dpus_used <= self.config.n_dpus:
+            raise ParameterError(
+                f"dpus_used must be in [1, {self.config.n_dpus}]: {dpus_used}"
+            )
+        fraction = dpus_used / self.config.n_dpus
+        return max(peak * fraction, self.single_dpu_bandwidth_bytes_per_s)
+
+    def host_to_dpu_seconds(self, total_bytes: int, dpus_used: int) -> float:
+        """Time to scatter ``total_bytes`` from host to ``dpus_used`` DPUs."""
+        if total_bytes < 0:
+            raise ParameterError(f"total_bytes must be non-negative: {total_bytes}")
+        if total_bytes == 0:
+            return 0.0
+        bandwidth = self._effective_bandwidth(
+            self.config.host_to_dpu_bandwidth_bytes_per_s, dpus_used
+        )
+        return self.per_transfer_overhead_s + total_bytes / bandwidth
+
+    def dpu_to_host_seconds(self, total_bytes: int, dpus_used: int) -> float:
+        """Time to gather ``total_bytes`` from ``dpus_used`` DPUs to host."""
+        if total_bytes < 0:
+            raise ParameterError(f"total_bytes must be non-negative: {total_bytes}")
+        if total_bytes == 0:
+            return 0.0
+        bandwidth = self._effective_bandwidth(
+            self.config.dpu_to_host_bandwidth_bytes_per_s, dpus_used
+        )
+        return self.per_transfer_overhead_s + total_bytes / bandwidth
+
+    def broadcast_seconds(self, bytes_per_dpu: int, dpus_used: int) -> float:
+        """Time to broadcast the same buffer to every engaged DPU.
+
+        The SDK's broadcast still writes each rank separately, so the
+        cost scales with the total bytes landed, same as a scatter.
+        """
+        if bytes_per_dpu < 0:
+            raise ParameterError(
+                f"bytes_per_dpu must be non-negative: {bytes_per_dpu}"
+            )
+        return self.host_to_dpu_seconds(bytes_per_dpu * dpus_used, dpus_used)

@@ -1,0 +1,143 @@
+"""Negacyclic Number Theoretic Transform over prime moduli.
+
+The NTT is the algorithmic heart of the **CPU-SEAL baseline** the paper
+compares against (Section 4.1: SEAL "leverages the Residue Number
+System (RNS) and the Number Theoretic Transform (NTT) implementations
+for faster operations"), and is deliberately *not* used on the PIM
+device ("We do not incorporate Number Theoretic Transform techniques to
+optimize multiplication. We leave them for future work.", Section 3).
+
+This implementation is the standard in-place iterative pair used by
+production HE libraries:
+
+* forward: Cooley–Tukey butterflies in bit-reversed order, with the
+  powers of the primitive ``2n``-th root ``psi`` *merged into the
+  twiddles*, so the transform natively computes the negacyclic
+  (x^n + 1) convolution without explicit pre-weighting;
+* inverse: Gentleman–Sande butterflies, with ``n^{-1}`` and the inverse
+  psi powers merged.
+
+All arithmetic is on Python ints modulo a prime ``p ≡ 1 (mod 2n)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.poly.modring import inverse_mod, is_prime, root_of_unity
+
+
+def _bit_reverse(value: int, bits: int) -> int:
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+class NTTContext:
+    """Precomputed negacyclic NTT for ring degree ``n`` and prime ``p``.
+
+    The context owns the bit-reversed twiddle tables; transforms are
+    pure functions over coefficient lists.
+
+    >>> ctx = NTTContext(8, 17)  # 17 == 1 (mod 16)
+    >>> a = [1, 2, 3, 4, 0, 0, 0, 0]
+    >>> ctx.inverse(ctx.forward(a)) == a
+    True
+    """
+
+    def __init__(self, n: int, p: int):
+        if n <= 0 or n & (n - 1):
+            raise ParameterError(f"ring degree must be a power of two: {n}")
+        if not is_prime(p):
+            raise ParameterError(f"NTT modulus must be prime, got {p}")
+        if (p - 1) % (2 * n):
+            raise ParameterError(
+                f"NTT requires p == 1 (mod 2n); got p={p}, n={n}"
+            )
+        self.n = n
+        self.p = p
+        self.log_n = n.bit_length() - 1
+        psi = root_of_unity(p, 2 * n)
+        psi_inv = inverse_mod(psi, p)
+        self.psi = psi
+        # Twiddle tables in bit-reversed order, psi powers merged
+        # (Longa–Naehrig layout).
+        self._fwd = [
+            pow(psi, _bit_reverse(i, self.log_n), p) for i in range(n)
+        ]
+        self._inv = [
+            pow(psi_inv, _bit_reverse(i, self.log_n), p) for i in range(n)
+        ]
+        self.n_inv = inverse_mod(n, p)
+
+    def forward(self, coeffs: list) -> list:
+        """Forward negacyclic NTT (coefficient → evaluation domain)."""
+        if len(coeffs) != self.n:
+            raise ParameterError(
+                f"expected {self.n} coefficients, got {len(coeffs)}"
+            )
+        p = self.p
+        a = [c % p for c in coeffs]
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            for i in range(m):
+                w = self._fwd[m + i]
+                j1 = 2 * i * t
+                for j in range(j1, j1 + t):
+                    u = a[j]
+                    v = a[j + t] * w % p
+                    a[j] = (u + v) % p
+                    a[j + t] = (u - v) % p
+            m *= 2
+        return a
+
+    def inverse(self, values: list) -> list:
+        """Inverse negacyclic NTT (evaluation → coefficient domain)."""
+        if len(values) != self.n:
+            raise ParameterError(
+                f"expected {self.n} values, got {len(values)}"
+            )
+        p = self.p
+        a = list(values)
+        t = 1
+        m = self.n
+        while m > 1:
+            j1 = 0
+            h = m // 2
+            for i in range(h):
+                w = self._inv[h + i]
+                for j in range(j1, j1 + t):
+                    u = a[j]
+                    v = a[j + t]
+                    a[j] = (u + v) % p
+                    a[j + t] = (u - v) * w % p
+                j1 += 2 * t
+            t *= 2
+            m = h
+        n_inv = self.n_inv
+        return [x * n_inv % p for x in a]
+
+    def pointwise(self, a: list, b: list) -> list:
+        """Element-wise product in the evaluation domain."""
+        if len(a) != self.n or len(b) != self.n:
+            raise ParameterError("operand length mismatch with ring degree")
+        p = self.p
+        return [x * y % p for x, y in zip(a, b)]
+
+    def convolve(self, a: list, b: list) -> list:
+        """Negacyclic convolution ``a * b mod (x^n + 1, p)``.
+
+        The textbook NTT → pointwise → INTT pipeline; cost
+        ``O(n log n)`` modular multiplications, versus ``O(n^2)`` for
+        the schoolbook convolution the PIM device performs.
+        """
+        return self.inverse(self.pointwise(self.forward(a), self.forward(b)))
+
+    #: Modular multiplications performed by one forward or inverse
+    #: transform — (n/2) * log2(n) butterflies, one mulmod each. Used by
+    #: the CPU-SEAL cost model; kept next to the algorithm it describes.
+    def butterflies_per_transform(self) -> int:
+        return (self.n // 2) * self.log_n

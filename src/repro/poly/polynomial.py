@@ -1,0 +1,253 @@
+"""Ring elements of ``R_q = Z_q[x] / (x^n + 1)``.
+
+:class:`Polynomial` is the coefficient-domain representation used by
+the functional BFV scheme. Coefficients are Python ints (the 109-bit
+security level does not fit native words), stored reduced to
+``[0, q)``.
+
+Negacyclic multiplication needs the *exact* integer product before
+modular reduction in two places: BFV ciphertext multiplication scales
+the tensor product by ``t/q`` over the rationals, and noise analysis
+reasons over ``Z``. :func:`negacyclic_convolve` therefore computes the
+convolution exactly over the integers — schoolbook for small degrees,
+and a CRT bundle of negacyclic NTTs over 62-bit primes for large ones
+(the standard multiprecision-convolution technique; both paths are
+cross-checked in the tests).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ParameterError
+from repro.poly.modring import find_ntt_prime, inverse_mod
+from repro.poly.ntt import NTTContext
+
+#: Degrees at or below this use schoolbook convolution; above, CRT-NTT.
+#: 64 keeps the crossover comfortably inside the regime where Python
+#: schoolbook is still fast, while every paper-sized ring (1024–4096)
+#: takes the O(n log n) path.
+SCHOOLBOOK_MAX_DEGREE = 64
+
+#: Bit width of the auxiliary CRT primes used for exact convolution.
+#: 62 bits keeps psi-power precomputation in native-int-friendly range
+#: while minimizing the number of primes needed.
+_CRT_PRIME_BITS = 62
+
+
+def _schoolbook_negacyclic(a: list, b: list, n: int) -> list:
+    """Exact negacyclic convolution over Z, O(n^2)."""
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            if bj == 0:
+                continue
+            k = i + j
+            term = ai * bj
+            if k < n:
+                out[k] += term
+            else:
+                out[k - n] -= term  # x^n == -1
+    return out
+
+
+@lru_cache(maxsize=32)
+def _crt_ntt_contexts(n: int, count: int) -> tuple:
+    """``count`` NTT contexts over distinct 62-bit primes == 1 mod 2n."""
+    return tuple(
+        NTTContext(n, find_ntt_prime(_CRT_PRIME_BITS, n, index=i))
+        for i in range(count)
+    )
+
+
+@lru_cache(maxsize=64)
+def _crt_recombination(moduli: tuple) -> tuple:
+    """Precompute (Q, [Q_i, Q_i^{-1} mod p_i]) for CRT composition."""
+    product = 1
+    for p in moduli:
+        product *= p
+    partials = []
+    for p in moduli:
+        q_i = product // p
+        partials.append((q_i, inverse_mod(q_i % p, p)))
+    return product, tuple(partials)
+
+
+def _crt_negacyclic(a: list, b: list, n: int) -> list:
+    """Exact negacyclic convolution over Z via CRT-bundled NTTs."""
+    max_a = max((abs(x) for x in a), default=0)
+    max_b = max((abs(x) for x in b), default=0)
+    # |result coefficient| <= n * max|a| * max|b|; need the CRT modulus
+    # to cover the signed range, i.e. Q > 2 * bound.
+    bound = 2 * n * max_a * max_b + 1
+    count = max(1, -(-bound.bit_length() // (_CRT_PRIME_BITS - 1)))
+    while True:
+        contexts = _crt_ntt_contexts(n, count)
+        product = 1
+        for ctx in contexts:
+            product *= ctx.p
+        if product >= bound:
+            break
+        count += 1
+    residue_vectors = [
+        ctx.convolve([x % ctx.p for x in a], [x % ctx.p for x in b])
+        for ctx in contexts
+    ]
+    moduli = tuple(ctx.p for ctx in contexts)
+    q_total, partials = _crt_recombination(moduli)
+    half = q_total // 2
+    out = []
+    for k in range(n):
+        acc = 0
+        for idx, (q_i, q_i_inv) in enumerate(partials):
+            acc += (residue_vectors[idx][k] * q_i_inv % moduli[idx]) * q_i
+        acc %= q_total
+        if acc > half:
+            acc -= q_total
+        out.append(acc)
+    return out
+
+
+def negacyclic_convolve(a: list, b: list, n: int) -> list:
+    """Exact product of two integer polynomials mod ``x^n + 1``, over Z.
+
+    Inputs are coefficient lists of length ``n`` (signed ints allowed);
+    the result is the exact signed integer convolution — no modular
+    reduction is applied, so the caller can scale or reduce as the
+    scheme requires.
+    """
+    if len(a) != n or len(b) != n:
+        raise ParameterError(
+            f"operands must have length {n}, got {len(a)} and {len(b)}"
+        )
+    if n <= 0 or n & (n - 1):
+        raise ParameterError(f"ring degree must be a power of two: {n}")
+    if n <= SCHOOLBOOK_MAX_DEGREE:
+        return _schoolbook_negacyclic(a, b, n)
+    return _crt_negacyclic(a, b, n)
+
+
+class Polynomial:
+    """An element of ``Z_q[x] / (x^n + 1)``, coefficients in ``[0, q)``.
+
+    Immutable by convention: all operations return new instances.
+    Equality and hashing follow the (coefficients, modulus) value.
+    """
+
+    __slots__ = ("coeffs", "modulus")
+
+    def __init__(self, coeffs, modulus: int):
+        if modulus < 2:
+            raise ParameterError(f"modulus must be >= 2, got {modulus}")
+        coeffs = tuple(int(c) % modulus for c in coeffs)
+        n = len(coeffs)
+        if n == 0 or n & (n - 1):
+            raise ParameterError(
+                f"ring degree must be a nonzero power of two, got {n}"
+            )
+        self.coeffs = coeffs
+        self.modulus = modulus
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zero(cls, n: int, modulus: int) -> "Polynomial":
+        """The additive identity of ``R_q`` with degree bound ``n``."""
+        return cls([0] * n, modulus)
+
+    @classmethod
+    def from_signed(cls, coeffs, modulus: int) -> "Polynomial":
+        """Build from signed coefficients (reduced into ``[0, q)``)."""
+        return cls(coeffs, modulus)
+
+    # -- basic protocol -------------------------------------------------
+
+    @property
+    def degree_bound(self) -> int:
+        """The ring degree ``n`` (number of coefficient slots)."""
+        return len(self.coeffs)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and self.modulus == other.modulus
+            and self.coeffs == other.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.coeffs, self.modulus))
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(c) for c in self.coeffs[:4])
+        tail = ", ..." if len(self.coeffs) > 4 else ""
+        return (
+            f"Polynomial(n={len(self.coeffs)}, "
+            f"q~2^{self.modulus.bit_length()}, [{head}{tail}])"
+        )
+
+    def _check_compatible(self, other: "Polynomial") -> None:
+        if not isinstance(other, Polynomial):
+            raise ParameterError(f"expected Polynomial, got {type(other)}")
+        if self.modulus != other.modulus:
+            raise ParameterError("polynomial moduli differ")
+        if len(self.coeffs) != len(other.coeffs):
+            raise ParameterError("polynomial degrees differ")
+
+    # -- ring operations ------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        q = self.modulus
+        return Polynomial(
+            [(x + y) % q for x, y in zip(self.coeffs, other.coeffs)], q
+        )
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        q = self.modulus
+        return Polynomial(
+            [(x - y) % q for x, y in zip(self.coeffs, other.coeffs)], q
+        )
+
+    def __neg__(self) -> "Polynomial":
+        q = self.modulus
+        return Polynomial([(-x) % q for x in self.coeffs], q)
+
+    def __mul__(self, other) -> "Polynomial":
+        if isinstance(other, int):
+            return self.scalar_mul(other)
+        self._check_compatible(other)
+        product = negacyclic_convolve(
+            list(self.coeffs), list(other.coeffs), len(self.coeffs)
+        )
+        return Polynomial(product, self.modulus)
+
+    __rmul__ = __mul__
+
+    def scalar_mul(self, scalar: int) -> "Polynomial":
+        """Multiply every coefficient by an integer scalar (mod q)."""
+        q = self.modulus
+        s = scalar % q
+        return Polynomial([c * s % q for c in self.coeffs], q)
+
+    # -- representation helpers ------------------------------------------
+
+    def centered(self) -> list:
+        """Coefficients lifted to the centered range ``(-q/2, q/2]``.
+
+        The centered lift is what decryption rounds and what noise
+        analysis measures.
+        """
+        q = self.modulus
+        half = q // 2
+        return [c - q if c > half else c for c in self.coeffs]
+
+    def infinity_norm(self) -> int:
+        """Max absolute value of the centered coefficients."""
+        return max((abs(c) for c in self.centered()), default=0)
+
+    def lift_centered_to(self, new_modulus: int) -> "Polynomial":
+        """Re-reduce the centered representative modulo a new modulus."""
+        return Polynomial(self.centered(), new_modulus)

@@ -1,0 +1,155 @@
+"""Synthetic datasets for the statistical workloads.
+
+The paper's scenario: many *users* hold private numeric data (e.g.
+readings, measurements) and offload encrypted computation to the
+server. The original user data is not published, so — per the
+substitution policy — these generators produce synthetic integer data
+with the properties the workloads need: values small enough to keep
+sums and squares inside the plaintext modulus, drawn from a seeded
+generator for reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class UserDataset:
+    """Per-user integer values for the mean/variance workloads.
+
+    ``values[u][j]`` is user ``u``'s ``j``-th data sample. All users
+    hold the same number of samples (one ciphertext slot each).
+    """
+
+    values: tuple  # tuple of per-user tuples
+
+    @property
+    def n_users(self) -> int:
+        return len(self.values)
+
+    @property
+    def samples_per_user(self) -> int:
+        return len(self.values[0]) if self.values else 0
+
+    @classmethod
+    def generate(
+        cls,
+        n_users: int,
+        samples_per_user: int,
+        seed: int = 0,
+        low: int = 0,
+        high: int = 100,
+    ) -> "UserDataset":
+        """Uniform integers in ``[low, high)`` per user and sample."""
+        if n_users <= 0 or samples_per_user <= 0:
+            raise ParameterError(
+                f"need positive shape, got {n_users} x {samples_per_user}"
+            )
+        if low >= high:
+            raise ParameterError(f"empty value range [{low}, {high})")
+        rng = np.random.default_rng(seed)
+        raw = rng.integers(low, high, size=(n_users, samples_per_user))
+        return cls(tuple(tuple(int(v) for v in row) for row in raw))
+
+    # -- plaintext references ----------------------------------------------
+
+    def column_sums(self) -> list:
+        """Per-sample-position sums across users (mean's reference)."""
+        return [
+            sum(user[j] for user in self.values)
+            for j in range(self.samples_per_user)
+        ]
+
+    def column_square_sums(self) -> list:
+        """Per-position sums of squared values (variance's reference)."""
+        return [
+            sum(user[j] ** 2 for user in self.values)
+            for j in range(self.samples_per_user)
+        ]
+
+    def column_means(self) -> list:
+        """Per-position arithmetic means."""
+        return [s / self.n_users for s in self.column_sums()]
+
+    def column_variances(self) -> list:
+        """Per-position population variances: E[x^2] - E[x]^2."""
+        n = self.n_users
+        return [
+            sq / n - (s / n) ** 2
+            for sq, s in zip(self.column_square_sums(), self.column_sums())
+        ]
+
+
+@dataclass(frozen=True)
+class RegressionDataset:
+    """Features and targets for the linear-regression workload.
+
+    ``x[i]`` is one sample's feature vector (``n_features`` ints),
+    ``y[i]`` its integer target. Targets are generated from a hidden
+    integer coefficient vector plus bounded noise, so the recovered
+    model is checkable.
+    """
+
+    x: tuple  # tuple of feature tuples
+    y: tuple  # tuple of ints
+    true_coefficients: tuple
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.x)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.x[0]) if self.x else 0
+
+    @classmethod
+    def generate(
+        cls,
+        n_samples: int,
+        n_features: int = 3,
+        seed: int = 0,
+        feature_high: int = 20,
+        noise: int = 2,
+    ) -> "RegressionDataset":
+        """Features uniform in ``[1, feature_high)``; targets linear."""
+        if n_samples <= 0 or n_features <= 0:
+            raise ParameterError(
+                f"need positive shape, got {n_samples} x {n_features}"
+            )
+        rng = np.random.default_rng(seed)
+        coeffs = tuple(int(c) for c in rng.integers(1, 6, size=n_features))
+        x = rng.integers(1, feature_high, size=(n_samples, n_features))
+        eps = rng.integers(-noise, noise + 1, size=n_samples)
+        y = x @ np.array(coeffs) + eps
+        return cls(
+            tuple(tuple(int(v) for v in row) for row in x),
+            tuple(int(v) for v in y),
+            coeffs,
+        )
+
+    # -- plaintext references ----------------------------------------------
+
+    def normal_equation_terms(self) -> tuple:
+        """Exact integer ``(X^T X, X^T y)`` of the dataset."""
+        f = self.n_features
+        xtx = [[0] * f for _ in range(f)]
+        xty = [0] * f
+        for row, target in zip(self.x, self.y):
+            for i in range(f):
+                xty[i] += row[i] * target
+                for j in range(f):
+                    xtx[i][j] += row[i] * row[j]
+        return tuple(tuple(r) for r in xtx), tuple(xty)
+
+    def solve_reference(self) -> list:
+        """Least-squares coefficients from the plaintext data."""
+        xtx, xty = self.normal_equation_terms()
+        solution = np.linalg.solve(
+            np.array(xtx, dtype=float), np.array(xty, dtype=float)
+        )
+        return [float(c) for c in solution]

@@ -1,0 +1,61 @@
+"""OpRequest validation and the backend protocol."""
+
+import pytest
+
+from repro.backends.base import OpRequest, TimingBreakdown
+from repro.errors import ParameterError
+
+
+class TestOpRequest:
+    def test_valid_request(self):
+        r = OpRequest(op="vec_add", width_bits=128, n_elements=1000)
+        assert r.limbs == 4
+        assert r.container_bytes == 16
+        assert r.effective_work_units == 1000
+
+    def test_work_units_passthrough(self):
+        r = OpRequest(
+            op="vec_add", width_bits=64, n_elements=1000, work_units=10
+        )
+        assert r.effective_work_units == 10
+
+    @pytest.mark.parametrize("width,limbs", [(32, 1), (64, 2), (128, 4)])
+    def test_limb_mapping(self, width, limbs):
+        r = OpRequest(op="vec_mul", width_bits=width, n_elements=1)
+        assert r.limbs == limbs
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ParameterError):
+            OpRequest(op="vec_div", width_bits=32, n_elements=1)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ParameterError):
+            OpRequest(op="vec_add", width_bits=48, n_elements=1)
+
+    def test_rejects_zero_elements(self):
+        with pytest.raises(ParameterError):
+            OpRequest(op="vec_add", width_bits=32, n_elements=0)
+
+    def test_rejects_work_units_above_elements(self):
+        with pytest.raises(ParameterError):
+            OpRequest(
+                op="vec_add", width_bits=32, n_elements=10, work_units=11
+            )
+
+    def test_rejects_bad_launches_and_dispatches(self):
+        with pytest.raises(ParameterError):
+            OpRequest(op="vec_add", width_bits=32, n_elements=1, launches=0)
+        with pytest.raises(ParameterError):
+            OpRequest(
+                op="vec_add", width_bits=32, n_elements=1, op_dispatches=0
+            )
+
+
+class TestTimingBreakdown:
+    def test_ms_conversion(self):
+        t = TimingBreakdown(backend="cpu", op="vec_add", seconds=0.25)
+        assert t.ms == 250.0
+
+    def test_detail_defaults_empty(self):
+        t = TimingBreakdown(backend="cpu", op="vec_add", seconds=1.0)
+        assert t.detail == {}

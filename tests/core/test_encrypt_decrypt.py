@@ -1,0 +1,110 @@
+"""Encryption/decryption round trips and ciphertext structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ciphertext import Ciphertext, Plaintext
+from repro.core.encryptor import SymmetricEncryptor
+from repro.errors import CiphertextError, ParameterError
+
+
+class TestRoundTrip:
+    def test_batch_roundtrip(self, tiny_ctx):
+        values = [5, -7, 100, 0, -128]
+        ct = tiny_ctx.encrypt_slots(values)
+        assert tiny_ctx.decrypt_slots(ct, len(values)) == values
+
+    def test_integer_roundtrip(self, tiny_ctx):
+        enc = tiny_ctx.integer_encoder
+        ct = tiny_ctx.encryptor.encrypt(enc.encode(-42))
+        assert enc.decode(tiny_ctx.decryptor.decrypt(ct)) == -42
+
+    @given(st.lists(st.integers(min_value=-128, max_value=128), min_size=1, max_size=16))
+    @settings(max_examples=15)
+    def test_roundtrip_property(self, values):
+        from repro.workloads.context import WorkloadContext
+        from tests.conftest import make_tiny_params
+
+        ctx = WorkloadContext.from_params(make_tiny_params(), seed=5)
+        ct = ctx.encrypt_slots(values)
+        assert ctx.decrypt_slots(ct, len(values)) == values
+
+    def test_crt_path_roundtrip(self, tiny128_ctx):
+        """Degree 128 exercises the CRT-NTT convolution in keygen."""
+        values = [13, -13, 99]
+        ct = tiny128_ctx.encrypt_slots(values)
+        assert tiny128_ctx.decrypt_slots(ct, 3) == values
+
+    def test_fresh_ciphertext_size_two(self, tiny_ctx):
+        ct = tiny_ctx.encrypt_slots([1])
+        assert ct.size == 2
+
+    def test_distinct_encryptions_differ(self, tiny_ctx):
+        """Probabilistic encryption: same plaintext, different ciphertext."""
+        a = tiny_ctx.encrypt_slots([1, 2, 3])
+        b = tiny_ctx.encrypt_slots([1, 2, 3])
+        assert a != b
+        assert tiny_ctx.decrypt_slots(a, 3) == tiny_ctx.decrypt_slots(b, 3)
+
+    def test_encrypt_zero(self, tiny_ctx):
+        ct = tiny_ctx.encryptor.encrypt_zero()
+        assert all(v == 0 for v in tiny_ctx.decrypt_slots(ct))
+
+
+class TestSymmetricEncryption:
+    def test_roundtrip(self, tiny_ctx, tiny_params):
+        enc = SymmetricEncryptor(tiny_params, tiny_ctx.keys.secret_key, seed=3)
+        be = tiny_ctx.batch_encoder
+        ct = enc.encrypt(be.encode([9, -9]))
+        assert tiny_ctx.decrypt_slots(ct, 2) == [9, -9]
+
+    def test_lower_noise_than_public(self, tiny_ctx, tiny_params):
+        from repro.core.noise import noise_budget
+
+        be = tiny_ctx.batch_encoder
+        sym = SymmetricEncryptor(tiny_params, tiny_ctx.keys.secret_key, seed=3)
+        sym_budget = noise_budget(
+            sym.encrypt(be.encode([1])), tiny_ctx.keys.secret_key
+        )
+        pub_budget = noise_budget(
+            tiny_ctx.encrypt_slots([1]), tiny_ctx.keys.secret_key
+        )
+        assert sym_budget >= pub_budget
+
+
+class TestStructureValidation:
+    def test_ciphertext_needs_two_polys(self, tiny_ctx):
+        ct = tiny_ctx.encrypt_slots([1])
+        with pytest.raises(CiphertextError):
+            Ciphertext(tiny_ctx.params, ct.polys[:1])
+
+    def test_ciphertext_rejects_wrong_modulus(self, tiny_ctx, tiny_params):
+        from repro.poly.polynomial import Polynomial
+
+        n = tiny_params.poly_degree
+        wrong = Polynomial([1] * n, 97)
+        with pytest.raises(CiphertextError):
+            Ciphertext(tiny_params, (wrong, wrong))
+
+    def test_plaintext_rejects_wrong_modulus(self, tiny_params):
+        from repro.poly.polynomial import Polynomial
+
+        n = tiny_params.poly_degree
+        with pytest.raises(ParameterError):
+            Plaintext(tiny_params, Polynomial([0] * n, 1009))
+
+    def test_device_bytes(self, tiny_ctx, tiny_params):
+        ct = tiny_ctx.encrypt_slots([1])
+        assert ct.device_bytes == 2 * tiny_params.poly_bytes
+
+    def test_cross_params_rejected(self, tiny_ctx, tiny128_ctx):
+        ct = tiny_ctx.encrypt_slots([1])
+        with pytest.raises(ParameterError):
+            tiny128_ctx.decryptor.decrypt(ct)
+
+    def test_check_compatible(self, tiny_ctx, tiny128_ctx):
+        a = tiny_ctx.encrypt_slots([1])
+        b = tiny128_ctx.encrypt_slots([1])
+        with pytest.raises(CiphertextError):
+            a.check_compatible(b)

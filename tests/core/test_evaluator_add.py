@@ -1,0 +1,119 @@
+"""Homomorphic addition and the additive operations around it."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CiphertextError
+
+slot_values = st.lists(
+    st.integers(min_value=-60, max_value=60), min_size=1, max_size=8
+)
+
+
+class TestAdd:
+    def test_basic(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        a = tiny_ctx.encrypt_slots([1, 2, 3])
+        b = tiny_ctx.encrypt_slots([10, 20, 30])
+        assert tiny_ctx.decrypt_slots(ev.add(a, b), 3) == [11, 22, 33]
+
+    @given(slot_values, slot_values)
+    @settings(max_examples=10)
+    def test_add_property(self, va, vb):
+        from repro.workloads.context import WorkloadContext
+        from tests.conftest import make_tiny_params
+
+        ctx = WorkloadContext.from_params(make_tiny_params(), seed=2)
+        n = max(len(va), len(vb))
+        va = va + [0] * (n - len(va))
+        vb = vb + [0] * (n - len(vb))
+        ct = ctx.evaluator.add(ctx.encrypt_slots(va), ctx.encrypt_slots(vb))
+        assert ctx.decrypt_slots(ct, n) == [x + y for x, y in zip(va, vb)]
+
+    def test_commutative(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        a = tiny_ctx.encrypt_slots([5, 6])
+        b = tiny_ctx.encrypt_slots([7, 8])
+        assert (
+            tiny_ctx.decrypt_slots(ev.add(a, b), 2)
+            == tiny_ctx.decrypt_slots(ev.add(b, a), 2)
+        )
+
+    def test_add_mixed_sizes(self, tiny_ctx):
+        """A size-3 (unrelinearized) plus a size-2 ciphertext."""
+        ev = tiny_ctx.evaluator
+        sq = ev.square(tiny_ctx.encrypt_slots([3, 4]), relinearize=False)
+        assert sq.size == 3
+        fresh = tiny_ctx.encrypt_slots([10, 10])
+        total = ev.add(sq, fresh)
+        assert total.size == 3
+        assert tiny_ctx.decrypt_slots(total, 2) == [19, 26]
+
+    def test_cross_params_rejected(self, tiny_ctx, tiny128_ctx):
+        with pytest.raises(CiphertextError):
+            tiny_ctx.evaluator.add(
+                tiny_ctx.encrypt_slots([1]), tiny128_ctx.encrypt_slots([1])
+            )
+
+
+class TestSubNegate:
+    def test_sub(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        a = tiny_ctx.encrypt_slots([10, 5])
+        b = tiny_ctx.encrypt_slots([3, 8])
+        assert tiny_ctx.decrypt_slots(ev.sub(a, b), 2) == [7, -3]
+
+    def test_negate(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        a = tiny_ctx.encrypt_slots([10, -5])
+        assert tiny_ctx.decrypt_slots(ev.negate(a), 2) == [-10, 5]
+
+    def test_self_sub_is_zero(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        a = tiny_ctx.encrypt_slots([42, -17])
+        assert tiny_ctx.decrypt_slots(ev.sub(a, a), 2) == [0, 0]
+
+
+class TestAddPlain:
+    def test_basic(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        ct = tiny_ctx.encrypt_slots([1, 2])
+        pt = tiny_ctx.batch_encoder.encode([100, -100])
+        assert tiny_ctx.decrypt_slots(ev.add_plain(ct, pt), 2) == [101, -98]
+
+    def test_preserves_noise(self, tiny_ctx):
+        """Plain addition adds no noise at all."""
+        from repro.core.noise import noise_budget
+
+        ev = tiny_ctx.evaluator
+        ct = tiny_ctx.encrypt_slots([1])
+        pt = tiny_ctx.batch_encoder.encode([5])
+        before = noise_budget(ct, tiny_ctx.keys.secret_key)
+        after = noise_budget(ev.add_plain(ct, pt), tiny_ctx.keys.secret_key)
+        assert after >= before - 1.1  # delta rounding may cost <= 1 bit
+
+
+class TestAddMany:
+    def test_sums_list(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        cts = [tiny_ctx.encrypt_slots([i, 2 * i]) for i in range(1, 8)]
+        total = ev.add_many(cts)
+        assert tiny_ctx.decrypt_slots(total, 2) == [28, 56]
+
+    def test_single_element(self, tiny_ctx):
+        ct = tiny_ctx.encrypt_slots([3])
+        assert tiny_ctx.evaluator.add_many([ct]) is ct
+
+    def test_empty_rejected(self, tiny_ctx):
+        with pytest.raises(CiphertextError):
+            tiny_ctx.evaluator.add_many([])
+
+    def test_matches_sequential(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        cts = [tiny_ctx.encrypt_slots([i]) for i in range(5)]
+        tree = ev.add_many(cts)
+        seq = cts[0]
+        for ct in cts[1:]:
+            seq = ev.add(seq, ct)
+        assert tiny_ctx.decrypt_slots(tree, 1) == tiny_ctx.decrypt_slots(seq, 1)

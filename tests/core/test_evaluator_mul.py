@@ -1,0 +1,160 @@
+"""Homomorphic multiplication, squaring, and relinearization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CiphertextError
+
+small = st.lists(st.integers(min_value=-11, max_value=11), min_size=1, max_size=6)
+
+
+class TestMultiply:
+    def test_basic(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        a = tiny_ctx.encrypt_slots([2, 3, -4])
+        b = tiny_ctx.encrypt_slots([5, -6, 7])
+        assert tiny_ctx.decrypt_slots(ev.multiply(a, b), 3) == [10, -18, -28]
+
+    @given(small, small)
+    @settings(max_examples=8)
+    def test_multiply_property(self, va, vb):
+        from repro.workloads.context import WorkloadContext
+        from tests.conftest import make_tiny_params
+
+        ctx = WorkloadContext.from_params(make_tiny_params(), seed=4)
+        n = max(len(va), len(vb))
+        va = va + [0] * (n - len(va))
+        vb = vb + [0] * (n - len(vb))
+        ct = ctx.evaluator.multiply(ctx.encrypt_slots(va), ctx.encrypt_slots(vb))
+        assert ctx.decrypt_slots(ct, n) == [x * y for x, y in zip(va, vb)]
+
+    def test_crt_convolution_path(self, tiny128_ctx):
+        """Degree-128 multiplication takes the CRT-NTT tensor path."""
+        ev = tiny128_ctx.evaluator
+        a = tiny128_ctx.encrypt_slots([9, -3])
+        b = tiny128_ctx.encrypt_slots([-7, 11])
+        assert tiny128_ctx.decrypt_slots(ev.multiply(a, b), 2) == [-63, -33]
+
+    def test_relinearized_by_default(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        product = ev.multiply(
+            tiny_ctx.encrypt_slots([2]), tiny_ctx.encrypt_slots([3])
+        )
+        assert product.size == 2
+
+    def test_unrelinearized_size_three(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        product = ev.multiply(
+            tiny_ctx.encrypt_slots([2]),
+            tiny_ctx.encrypt_slots([3]),
+            relinearize=False,
+        )
+        assert product.size == 3
+        assert tiny_ctx.decrypt_slots(product, 1) == [6]
+
+    def test_by_one_is_identity(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        ones = tiny_ctx.encrypt_slots([1] * tiny_ctx.params.poly_degree)
+        a = tiny_ctx.encrypt_slots([13, -5, 0])
+        assert tiny_ctx.decrypt_slots(ev.multiply(a, ones), 3) == [13, -5, 0]
+
+    def test_by_zero_is_zero(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        zeros = tiny_ctx.encryptor.encrypt_zero()
+        a = tiny_ctx.encrypt_slots([13, -5])
+        assert tiny_ctx.decrypt_slots(ev.multiply(a, zeros), 2) == [0, 0]
+
+    def test_depth_two(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        a = tiny_ctx.encrypt_slots([2])
+        b = tiny_ctx.encrypt_slots([3])
+        c = tiny_ctx.encrypt_slots([-4])
+        product = ev.multiply(ev.multiply(a, b), c)
+        assert tiny_ctx.decrypt_slots(product, 1) == [-24]
+
+    def test_rejects_size_three_operand(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        sq = ev.square(tiny_ctx.encrypt_slots([2]), relinearize=False)
+        with pytest.raises(CiphertextError):
+            ev.multiply(sq, tiny_ctx.encrypt_slots([1]))
+
+
+class TestSquare:
+    def test_matches_multiply_by_self(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        a = tiny_ctx.encrypt_slots([3, -7, 11])
+        sq = ev.square(a)
+        mul = ev.multiply(a, a)
+        assert (
+            tiny_ctx.decrypt_slots(sq, 3)
+            == tiny_ctx.decrypt_slots(mul, 3)
+            == [9, 49, 121]
+        )
+
+    def test_negative_values(self, tiny_ctx):
+        # (-11)^2 = 121 stays inside the centered range of t = 257.
+        ev = tiny_ctx.evaluator
+        sq = ev.square(tiny_ctx.encrypt_slots([-11]))
+        assert tiny_ctx.decrypt_slots(sq, 1) == [121]
+
+    def test_rejects_size_three(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        sq = ev.square(tiny_ctx.encrypt_slots([2]), relinearize=False)
+        with pytest.raises(CiphertextError):
+            ev.square(sq)
+
+
+class TestMultiplyPlain:
+    def test_basic(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        ct = tiny_ctx.encrypt_slots([4, -6])
+        pt = tiny_ctx.batch_encoder.encode([3, 3])
+        assert tiny_ctx.decrypt_slots(ev.multiply_plain(ct, pt), 2) == [12, -18]
+
+    def test_rejects_zero_plaintext(self, tiny_ctx):
+        """Multiplying by encoded zero would leak a transparent result."""
+        ev = tiny_ctx.evaluator
+        ct = tiny_ctx.encrypt_slots([4])
+        zero = tiny_ctx.batch_encoder.encode([])
+        with pytest.raises(CiphertextError):
+            ev.multiply_plain(ct, zero)
+
+
+class TestRelinearize:
+    def test_reduces_size_and_preserves_value(self, tiny_ctx):
+        ev = tiny_ctx.evaluator
+        product = ev.multiply(
+            tiny_ctx.encrypt_slots([6, 7]),
+            tiny_ctx.encrypt_slots([-2, 5]),
+            relinearize=False,
+        )
+        relined = ev.relinearize(product)
+        assert relined.size == 2
+        assert tiny_ctx.decrypt_slots(relined, 2) == [-12, 35]
+
+    def test_size_two_passthrough(self, tiny_ctx):
+        ct = tiny_ctx.encrypt_slots([1])
+        assert tiny_ctx.evaluator.relinearize(ct) is ct
+
+    def test_without_key_rejected(self, tiny_ctx):
+        from repro.core.evaluator import Evaluator
+
+        ev = Evaluator(tiny_ctx.params)  # no relin key
+        product = tiny_ctx.evaluator.multiply(
+            tiny_ctx.encrypt_slots([2]),
+            tiny_ctx.encrypt_slots([3]),
+            relinearize=False,
+        )
+        with pytest.raises(CiphertextError):
+            ev.relinearize(product)
+
+    def test_multiply_without_key_returns_size_three(self, tiny_ctx):
+        from repro.core.evaluator import Evaluator
+
+        ev = Evaluator(tiny_ctx.params)
+        product = ev.multiply(
+            tiny_ctx.encrypt_slots([2]), tiny_ctx.encrypt_slots([3])
+        )
+        assert product.size == 3
+        assert tiny_ctx.decrypt_slots(product, 1) == [6]

@@ -1,0 +1,104 @@
+"""BFV parameter sets: paper presets and validation."""
+
+import pytest
+
+from repro.core.params import SECURITY_LEVELS, BFVParameters
+from repro.errors import ParameterError
+from repro.poly.modring import is_prime
+
+
+class TestSecurityLevels:
+    def test_paper_levels_registered(self):
+        assert SECURITY_LEVELS == (27, 54, 109)
+
+    @pytest.mark.parametrize(
+        "bits,degree,width,limbs",
+        [(27, 1024, 32, 1), (54, 2048, 64, 2), (109, 4096, 128, 4)],
+    )
+    def test_paper_mapping(self, bits, degree, width, limbs):
+        """Section 3: 27/54/109-bit coefficients in 1024/2048/4096-degree
+        rings stored as 32/64/128-bit integers."""
+        p = BFVParameters.security_level(bits)
+        assert p.poly_degree == degree
+        assert p.security_bits == bits
+        assert p.coefficient_width_bits == width
+        assert p.limbs_per_coefficient == limbs
+
+    @pytest.mark.parametrize("bits", SECURITY_LEVELS)
+    def test_modulus_is_ntt_friendly_prime(self, bits):
+        p = BFVParameters.security_level(bits)
+        assert is_prime(p.coeff_modulus)
+        assert p.coeff_modulus % (2 * p.poly_degree) == 1
+
+    def test_presets_cached(self):
+        assert BFVParameters.security_level(54) is BFVParameters.security_level(54)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ParameterError):
+            BFVParameters.security_level(80)
+
+    def test_overrides(self):
+        p = BFVParameters.security_level(54, plain_modulus=257)
+        assert p.plain_modulus == 257
+        assert p.poly_degree == 2048
+
+    def test_batching_support(self):
+        # 65537 == 1 (mod 2n) for n in {2048, 4096}; 257 is too small
+        # for n=1024's 2048 slots.
+        assert not BFVParameters.security_level(27).supports_batching
+        assert BFVParameters.security_level(54).supports_batching
+        assert BFVParameters.security_level(109).supports_batching
+
+
+class TestDerivedQuantities:
+    def test_delta(self):
+        p = BFVParameters.security_level(109)
+        assert p.delta == p.coeff_modulus // p.plain_modulus
+
+    def test_poly_bytes_uses_container_width(self):
+        p = BFVParameters.security_level(109)
+        assert p.poly_bytes == 4096 * 16
+        assert p.ciphertext_bytes == 2 * p.poly_bytes
+
+    def test_relin_components_cover_modulus(self):
+        for bits in SECURITY_LEVELS:
+            p = BFVParameters.security_level(bits)
+            assert p.relin_components * p.relin_base_bits >= p.security_bits
+
+    def test_describe_mentions_key_facts(self):
+        text = BFVParameters.security_level(109).describe()
+        assert "4096" in text and "128-bit" in text
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_degree(self):
+        with pytest.raises(ParameterError):
+            BFVParameters(poly_degree=1000, coeff_modulus=97, plain_modulus=7)
+
+    def test_rejects_plain_not_below_coeff(self):
+        with pytest.raises(ParameterError):
+            BFVParameters(poly_degree=8, coeff_modulus=97, plain_modulus=97)
+
+    def test_rejects_tiny_plain_modulus(self):
+        with pytest.raises(ParameterError):
+            BFVParameters(poly_degree=8, coeff_modulus=97, plain_modulus=1)
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ParameterError):
+            BFVParameters(
+                poly_degree=8, coeff_modulus=97, plain_modulus=7, error_eta=0
+            )
+
+    def test_rejects_bad_relin_base(self):
+        with pytest.raises(ParameterError):
+            BFVParameters(
+                poly_degree=8,
+                coeff_modulus=97,
+                plain_modulus=7,
+                relin_base_bits=0,
+            )
+
+    def test_frozen(self):
+        p = BFVParameters.security_level(54)
+        with pytest.raises(AttributeError):
+            p.poly_degree = 1024

@@ -1,0 +1,167 @@
+"""Budget planner: predictions versus measured reality."""
+
+import pytest
+
+from repro.core.params import BFVParameters
+from repro.core.planner import (
+    CircuitShape,
+    minimum_security_level,
+    plan_budget,
+    workload_circuit,
+)
+from repro.errors import ParameterError
+
+
+class TestCircuitShape:
+    def test_defaults(self):
+        shape = CircuitShape()
+        assert shape.multiplicative_depth == 0
+        assert shape.additions_per_level == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"multiplicative_depth": -1},
+            {"additions_per_level": 0},
+            {"rotations": -2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            CircuitShape(**kwargs)
+
+
+class TestPlanBudget:
+    def test_depth_two_feasible_at_109(self):
+        params = BFVParameters.security_level(109)
+        plan = plan_budget(params, CircuitShape(multiplicative_depth=2))
+        assert plan.feasible
+
+    def test_variance_workload_feasible_at_109(self):
+        params = BFVParameters.security_level(109)
+        plan = plan_budget(
+            params, CircuitShape(multiplicative_depth=1, additions_per_level=2560)
+        )
+        assert plan.feasible
+
+    def test_depth_one_infeasible_at_27(self):
+        params = BFVParameters.security_level(27)
+        plan = plan_budget(params, CircuitShape(multiplicative_depth=1))
+        assert not plan.feasible
+
+    def test_additions_only_feasible_at_27(self):
+        """The 27-bit level handles a short addition chain."""
+        params = BFVParameters.security_level(27)
+        plan = plan_budget(
+            params, CircuitShape(additions_per_level=2), margin_bits=1.0
+        )
+        assert plan.feasible
+
+    def test_keyswitch_ceiling_applies(self):
+        """Rotations cap the budget even with zero multiplications."""
+        params = BFVParameters.security_level(109)
+        no_rot = plan_budget(params, CircuitShape())
+        with_rot = plan_budget(params, CircuitShape(rotations=4))
+        assert with_rot.remaining_bits < no_rot.remaining_bits
+
+    def test_more_keyswitches_cost_logarithmically(self):
+        params = BFVParameters.security_level(109)
+        one = plan_budget(params, CircuitShape(rotations=1))
+        four = plan_budget(params, CircuitShape(rotations=4))
+        assert one.remaining_bits - four.remaining_bits == pytest.approx(2.0)
+
+    def test_rejects_negative_margin(self):
+        with pytest.raises(ParameterError):
+            plan_budget(BFVParameters.security_level(54), CircuitShape(), -1)
+
+    def test_describe_mentions_verdict(self):
+        plan = plan_budget(
+            BFVParameters.security_level(109), CircuitShape(1, 4)
+        )
+        assert "feasible" in plan.describe()
+
+
+class TestPredictionsMatchReality:
+    """Feasible plans must actually decrypt (the planner's contract)."""
+
+    def test_feasible_circuit_decrypts(self, tiny_ctx):
+        plan = plan_budget(
+            tiny_ctx.params, CircuitShape(multiplicative_depth=1)
+        )
+        assert plan.feasible
+        ev = tiny_ctx.evaluator
+        product = ev.multiply(
+            tiny_ctx.encrypt_slots([7]), tiny_ctx.encrypt_slots([8])
+        )
+        assert tiny_ctx.decrypt_slots(product, 1) == [56]
+
+    def test_measured_budget_above_prediction(self, tiny_ctx):
+        """The plan is conservative: measured >= predicted remaining."""
+        from repro.core.noise import noise_budget
+
+        plan = plan_budget(
+            tiny_ctx.params, CircuitShape(multiplicative_depth=1)
+        )
+        ev = tiny_ctx.evaluator
+        product = ev.multiply(
+            tiny_ctx.encrypt_slots([2]), tiny_ctx.encrypt_slots([3])
+        )
+        measured = noise_budget(product, tiny_ctx.keys.secret_key)
+        assert measured >= plan.remaining_bits - 1
+
+
+class TestMinimumLevel:
+    def test_additions_pick_small_level(self):
+        level = minimum_security_level(
+            CircuitShape(additions_per_level=4), margin_bits=1.0
+        )
+        assert level.security_bits in (27, 54)
+
+    def test_multiplication_picks_109(self):
+        level = minimum_security_level(
+            CircuitShape(multiplicative_depth=1, additions_per_level=640)
+        )
+        assert level.security_bits == 109
+
+    def test_impossible_depth_rejected(self):
+        with pytest.raises(ParameterError):
+            minimum_security_level(CircuitShape(multiplicative_depth=4))
+
+
+class TestWorkloadCircuits:
+    def test_mean_is_depth_zero(self):
+        from repro.workloads import MeanWorkload
+
+        shape = workload_circuit(MeanWorkload(n_users=640))
+        assert shape.multiplicative_depth == 0
+        assert shape.additions_per_level == 640
+
+    def test_variance_is_depth_one(self):
+        from repro.workloads import VarianceWorkload
+
+        assert workload_circuit(
+            VarianceWorkload(n_users=64)
+        ).multiplicative_depth == 1
+
+    def test_paper_workloads_feasible_at_their_level(self):
+        """Every Figure 2 configuration must be feasible at 109 bits —
+        otherwise the paper's evaluation would decrypt garbage."""
+        from repro.workloads import (
+            LinearRegressionWorkload,
+            MeanWorkload,
+            VarianceWorkload,
+        )
+
+        params = BFVParameters.security_level(109)
+        workloads = [
+            MeanWorkload(n_users=2560),
+            VarianceWorkload(n_users=2560),
+            LinearRegressionWorkload(n_users=640, ciphertexts_per_user=64),
+        ]
+        for workload in workloads:
+            plan = plan_budget(params, workload_circuit(workload))
+            assert plan.feasible, plan.describe()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ParameterError):
+            workload_circuit(object())

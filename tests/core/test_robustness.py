@@ -1,0 +1,148 @@
+"""Robustness: tampering, wrong keys, fuzzed inputs.
+
+These tests pin down *failure* behaviour: corrupted ciphertexts must
+decrypt to garbage (never silently to the right value with a broken
+scheme), wrong keys must not decrypt, and malformed serialized bytes
+must raise clean errors rather than crash or return partial objects.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Decryptor, KeyGenerator
+from repro.core.ciphertext import Ciphertext
+from repro.core.noise import noise_budget
+from repro.core.serialization import (
+    MAGIC,
+    SerializationError,
+    dump_ciphertext,
+    load_ciphertext,
+    load_params,
+)
+from repro.poly.polynomial import Polynomial
+
+
+class TestTampering:
+    def test_corrupted_coefficient_breaks_decryption(self, tiny_ctx):
+        """Flipping one ciphertext coefficient destroys the plaintext —
+        RLWE ciphertexts have no malleability structure beyond the
+        homomorphisms."""
+        ct = tiny_ctx.encrypt_slots([42] * 8)
+        q = tiny_ctx.params.coeff_modulus
+        coeffs = list(ct.polys[0].coeffs)
+        coeffs[0] = (coeffs[0] + q // 2) % q
+        tampered = Ciphertext(
+            tiny_ctx.params,
+            (Polynomial(coeffs, q), ct.polys[1]),
+        )
+        decoded = tiny_ctx.decrypt_slots(tampered, 8)
+        assert decoded != [42] * 8
+
+    def test_budget_cannot_authenticate(self, tiny_ctx):
+        """The invariant-noise budget measures distance to the
+        *nearest* plaintext — a tamper that lands near a different
+        plaintext keeps a positive budget while decrypting wrongly.
+        Noise budgets are correctness predictors, not MACs; this test
+        pins that (documented) limitation down."""
+        ct = tiny_ctx.encrypt_slots([1])
+        q = tiny_ctx.params.coeff_modulus
+        t = tiny_ctx.params.plain_modulus
+        coeffs = list(ct.polys[0].coeffs)
+        # Shift by exactly one plaintext step: lands on another integer.
+        coeffs[0] = (coeffs[0] + q // t) % q
+        tampered = Ciphertext(
+            tiny_ctx.params, (Polynomial(coeffs, q), ct.polys[1])
+        )
+        assert noise_budget(tampered, tiny_ctx.keys.secret_key) > 0
+        assert tiny_ctx.decrypt_slots(tampered) != tiny_ctx.decrypt_slots(ct)
+
+    def test_wrong_secret_key_decrypts_garbage(self, tiny_ctx, tiny_params):
+        other = KeyGenerator(tiny_params, seed=999).generate()
+        ct = tiny_ctx.encrypt_slots([7, 8, 9])
+        wrong = Decryptor(tiny_params, other.secret_key)
+        decoded = tiny_ctx.batch_encoder.decode(wrong.decrypt(ct))
+        assert decoded[:3] != [7, 8, 9]
+
+    def test_swapped_components_break_decryption(self, tiny_ctx):
+        ct = tiny_ctx.encrypt_slots([5])
+        swapped = Ciphertext(tiny_ctx.params, (ct.polys[1], ct.polys[0]))
+        assert tiny_ctx.decrypt_slots(swapped, 1) != [5]
+
+
+class TestSerializationFuzz:
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100)
+    def test_random_bytes_never_crash(self, data):
+        """Arbitrary bytes either parse (astronomically unlikely) or
+        raise SerializationError/ParameterError — never an unhandled
+        exception type."""
+        from repro.errors import ReproError
+
+        try:
+            load_params(data)
+        except ReproError:
+            pass
+
+    @given(st.integers(min_value=6, max_value=200), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50)
+    def test_single_byte_corruption_detected(self, position, new_byte):
+        """Corrupting any single byte of a serialized ciphertext either
+        raises or yields a ciphertext differing from the original."""
+        from tests.conftest import make_tiny_params
+        from repro.workloads.context import WorkloadContext
+        from repro.errors import ReproError
+
+        ctx = _fuzz_ctx()
+        original = ctx.encrypt_slots([13])
+        blob = bytearray(dump_ciphertext(original))
+        position %= len(blob)
+        if blob[position] == new_byte:
+            return
+        blob[position] = new_byte
+        try:
+            restored = load_ciphertext(bytes(blob))
+        except ReproError:
+            return
+        assert restored != original
+
+    @given(st.binary(min_size=1, max_size=16))
+    @settings(max_examples=30)
+    def test_magic_prefix_required(self, suffix):
+        with pytest.raises(SerializationError):
+            load_params(b"XXXX" + suffix)
+
+    def test_magic_alone_rejected(self):
+        with pytest.raises(SerializationError):
+            load_params(MAGIC)
+
+
+_FUZZ_CTX = None
+
+
+def _fuzz_ctx():
+    global _FUZZ_CTX
+    if _FUZZ_CTX is None:
+        from tests.conftest import make_tiny_params
+        from repro.workloads.context import WorkloadContext
+
+        _FUZZ_CTX = WorkloadContext.from_params(make_tiny_params(), seed=77)
+    return _FUZZ_CTX
+
+
+class TestStatisticalSanity:
+    def test_ciphertext_coefficients_look_uniform(self, tiny_ctx):
+        """Fresh ciphertext components should be indistinguishable from
+        uniform mod q at the crude-statistics level."""
+        ct = tiny_ctx.encrypt_slots([0] * 8)
+        q = tiny_ctx.params.coeff_modulus
+        coeffs = np.array(
+            [c / q for c in ct.polys[0].coeffs], dtype=float
+        )
+        assert 0.35 < coeffs.mean() < 0.65
+        assert coeffs.std() > 0.2  # not concentrated
+
+    def test_same_plaintext_many_encryptions_all_distinct(self, tiny_ctx):
+        cts = [tiny_ctx.encrypt_slots([1]) for _ in range(6)]
+        assert len({ct.polys[0].coeffs for ct in cts}) == 6

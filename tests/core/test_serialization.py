@@ -1,0 +1,133 @@
+"""Serialization: round trips, self-description, and error handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialization import (
+    SerializationError,
+    dump_ciphertext,
+    dump_params,
+    dump_plaintext,
+    dump_public_key,
+    dump_relin_key,
+    dump_secret_key,
+    load_ciphertext,
+    load_params,
+    load_plaintext,
+    load_public_key,
+    load_relin_key,
+    load_secret_key,
+)
+
+
+class TestParamsRoundtrip:
+    def test_tiny(self, tiny_params):
+        assert load_params(dump_params(tiny_params)) == tiny_params
+
+    def test_paper_levels(self):
+        from repro.core.params import BFVParameters
+
+        for bits in (27, 54, 109):
+            params = BFVParameters.security_level(bits)
+            assert load_params(dump_params(params)) == params
+
+
+class TestPlaintextRoundtrip:
+    def test_batch_encoded(self, tiny_ctx):
+        pt = tiny_ctx.batch_encoder.encode([1, -2, 3])
+        restored = load_plaintext(dump_plaintext(pt))
+        assert restored == pt
+        assert tiny_ctx.batch_encoder.decode(restored)[:3] == [1, -2, 3]
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=10))
+    @settings(max_examples=15)
+    def test_roundtrip_property(self, values):
+        from tests.conftest import make_tiny_params
+        from repro.core.ciphertext import Plaintext
+
+        params = make_tiny_params()
+        pt = Plaintext.from_coefficients(
+            params, values + [0] * (params.poly_degree - len(values))
+        )
+        assert load_plaintext(dump_plaintext(pt)) == pt
+
+
+class TestCiphertextRoundtrip:
+    def test_size_two(self, tiny_ctx):
+        ct = tiny_ctx.encrypt_slots([7, -7])
+        restored = load_ciphertext(dump_ciphertext(ct))
+        assert restored == ct
+        assert tiny_ctx.decrypt_slots(restored, 2) == [7, -7]
+
+    def test_size_three(self, tiny_ctx):
+        sq = tiny_ctx.evaluator.square(
+            tiny_ctx.encrypt_slots([5]), relinearize=False
+        )
+        restored = load_ciphertext(dump_ciphertext(sq))
+        assert restored.size == 3
+        assert restored == sq
+
+    def test_survives_evaluation_after_restore(self, tiny_ctx):
+        """A deserialized ciphertext is a first-class citizen."""
+        ct = load_ciphertext(
+            dump_ciphertext(tiny_ctx.encrypt_slots([2, 3]))
+        )
+        doubled = tiny_ctx.evaluator.add(ct, ct)
+        assert tiny_ctx.decrypt_slots(doubled, 2) == [4, 6]
+
+
+class TestKeyRoundtrips:
+    def test_secret_key(self, tiny_ctx):
+        sk = tiny_ctx.keys.secret_key
+        assert load_secret_key(dump_secret_key(sk)) == sk
+
+    def test_public_key(self, tiny_ctx):
+        pk = tiny_ctx.keys.public_key
+        assert load_public_key(dump_public_key(pk)) == pk
+
+    def test_relin_key(self, tiny_ctx):
+        rk = tiny_ctx.keys.relin_key
+        restored = load_relin_key(dump_relin_key(rk))
+        assert restored == rk
+
+    def test_restored_relin_key_works(self, tiny_ctx, tiny_params):
+        from repro.core.evaluator import Evaluator
+
+        restored = load_relin_key(dump_relin_key(tiny_ctx.keys.relin_key))
+        ev = Evaluator(tiny_params, relin_key=restored)
+        product = ev.multiply(
+            tiny_ctx.encrypt_slots([4]), tiny_ctx.encrypt_slots([5])
+        )
+        assert product.size == 2
+        assert tiny_ctx.decrypt_slots(product, 1) == [20]
+
+
+class TestErrorHandling:
+    def test_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            load_params(b"not a serialized object")
+
+    def test_rejects_wrong_kind(self, tiny_params):
+        data = dump_params(tiny_params)
+        with pytest.raises(SerializationError):
+            load_ciphertext(data)
+
+    def test_rejects_truncation(self, tiny_ctx):
+        data = dump_ciphertext(tiny_ctx.encrypt_slots([1]))
+        with pytest.raises(SerializationError):
+            load_ciphertext(data[: len(data) // 2])
+
+    def test_rejects_trailing_bytes(self, tiny_params):
+        with pytest.raises(SerializationError):
+            load_params(dump_params(tiny_params) + b"\x00")
+
+    def test_rejects_bad_version(self, tiny_params):
+        data = bytearray(dump_params(tiny_params))
+        data[4] = 99  # version byte
+        with pytest.raises(SerializationError):
+            load_params(bytes(data))
+
+    def test_deterministic_encoding(self, tiny_ctx):
+        ct = tiny_ctx.encrypt_slots([9])
+        assert dump_ciphertext(ct) == dump_ciphertext(ct)

@@ -1,0 +1,37 @@
+"""Key Takeaway 3: memory-capacity-proportional performance."""
+
+import pytest
+
+from repro.harness.experiments import get_experiment
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return get_experiment("kt3_capacity").run()
+
+
+class TestCapacityScaling:
+    def test_four_system_sizes(self, rows):
+        assert [row.x for row in rows] == [631, 1262, 2524, 5048]
+
+    def test_throughput_grows_with_capacity(self, rows):
+        throughputs = [row.series["throughput users/s"] for row in rows]
+        assert throughputs == sorted(throughputs)
+
+    def test_near_linear_scaling(self, rows):
+        """Doubling installed memory (and so DPUs) must come close to
+        doubling throughput — within the launch-overhead slack."""
+        by_dpus = {row.x: row.series["throughput users/s"] for row in rows}
+        for small, large in ((631, 1262), (1262, 2524), (2524, 5048)):
+            gain = by_dpus[large] / by_dpus[small]
+            assert 1.6 < gain < 2.1, (small, large, gain)
+
+    def test_memory_tracks_dpus(self, rows):
+        for row in rows:
+            assert row.series["memory GiB"] == pytest.approx(
+                row.x * 64 / 1024, rel=0.01
+            )
+
+    def test_paper_size_matches_158gb(self, rows):
+        paper_row = next(row for row in rows if row.x == 2524)
+        assert paper_row.series["memory GiB"] == pytest.approx(157.75, abs=0.5)

@@ -1,0 +1,74 @@
+"""ASCII charts and the CLI verify/chart commands."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.harness.charts import render_bar_chart, render_experiment_chart
+from repro.harness.cli import main
+from repro.harness.experiments import ExperimentRow, get_experiment
+
+
+def sample_rows():
+    return [
+        ExperimentRow("small", 1, {"pim": 1.0, "cpu": 100.0}),
+        ExperimentRow("large", 2, {"pim": 10.0, "cpu": 1000.0}),
+    ]
+
+
+class TestBarChart:
+    def test_contains_all_series_and_labels(self):
+        chart = render_bar_chart(sample_rows(), unit="ms")
+        assert "small:" in chart and "large:" in chart
+        assert chart.count("pim") == 2 and chart.count("cpu") == 2
+
+    def test_log_scale_extremes(self):
+        chart = render_bar_chart(sample_rows(), unit="ms", width=40)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        # Smallest value: single glyph; largest: full width.
+        smallest = next(l for l in lines if "1.000 ms" in l)
+        largest = next(l for l in lines if "1,000.000 ms" in l)
+        assert smallest.count("#") == 1
+        assert largest.count("#") == 40
+
+    def test_monotone_bar_lengths(self):
+        chart = render_bar_chart(sample_rows(), width=30)
+        lengths = [l.count("#") for l in chart.splitlines() if "|" in l]
+        values = [1.0, 100.0, 10.0, 1000.0]
+        order = sorted(range(4), key=lambda i: values[i])
+        assert [lengths[i] for i in order] == sorted(lengths)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            render_bar_chart([])
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ParameterError):
+            render_bar_chart(sample_rows(), width=4)
+
+    def test_experiment_chart_header(self):
+        experiment = get_experiment("abl_karatsuba")
+        chart = render_experiment_chart(experiment, experiment.run())
+        assert "abl_karatsuba" in chart
+        assert experiment.paper_ref in chart
+
+
+class TestCLICommands:
+    def test_chart_command(self, capsys):
+        assert main(["chart", "fig2a", "-w", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "640 users:" in out
+        assert "#" in out
+
+    def test_verify_command(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all functional verifications passed" in out
+        for name in (
+            "vector addition",
+            "variance",
+            "linear regression",
+            "covariance",
+            "slot rotation",
+            "device-kernel addition",
+        ):
+            assert name in out

@@ -1,0 +1,108 @@
+"""Experiment registry: completeness and row structure."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentRow,
+    get_experiment,
+)
+
+#: Experiments the paper's evaluation section requires (DESIGN.md map).
+REQUIRED = {
+    "fig1a",
+    "fig1b",
+    "fig1a_32bit",
+    "fig1b_32bit",
+    "fig1a_64bit",
+    "fig1b_64bit",
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "tab_security",
+    "obs_tasklets",
+    "abl_karatsuba",
+    "abl_ntt",
+    "abl_native_mul",
+    "abl_residency",
+}
+
+
+class TestRegistry:
+    def test_every_required_experiment_registered(self):
+        assert REQUIRED <= set(EXPERIMENTS)
+
+    def test_lookup(self):
+        assert get_experiment("fig1a").id == "fig1a"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_metadata_populated(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.title
+            assert experiment.paper_ref
+            assert experiment.description
+            assert experiment.unit
+
+
+class TestRowStructure:
+    @pytest.mark.parametrize(
+        "eid", ["fig2a", "obs_tasklets", "abl_karatsuba", "abl_ntt"]
+    )
+    def test_rows_well_formed(self, eid):
+        rows = get_experiment(eid).run()
+        assert rows
+        for row in rows:
+            assert isinstance(row, ExperimentRow)
+            assert row.label
+            assert row.series
+            assert all(v == v for v in row.series.values())  # no NaN
+
+    def test_fig2a_covers_paper_user_counts(self):
+        rows = get_experiment("fig2a").run()
+        assert [row.x for row in rows] == [640, 1280, 2560]
+
+    def test_fig2c_covers_paper_configs(self):
+        rows = get_experiment("fig2c").run()
+        assert [row.x for row in rows] == [32, 64]
+
+    def test_fig2_has_all_four_platforms(self):
+        for row in get_experiment("fig2b").run():
+            assert set(row.series) == {"cpu", "pim", "cpu-seal", "gpu"}
+
+    def test_deterministic(self):
+        a = get_experiment("fig2a").run()
+        b = get_experiment("fig2a").run()
+        assert [r.series for r in a] == [r.series for r in b]
+
+
+class TestAblations:
+    def test_karatsuba_always_cheaper(self):
+        for row in get_experiment("abl_karatsuba").run():
+            assert row.series["karatsuba cycles"] < row.series["schoolbook cycles"]
+
+    def test_ntt_advantage_grows_with_degree(self):
+        rows = get_experiment("abl_ntt").run()
+        advantages = [r.series["ntt advantage x"] for r in rows]
+        assert advantages == sorted(advantages)
+        assert advantages[-1] > 100  # n=4096: two orders of magnitude
+
+    def test_native_mul_speedup_large(self):
+        """Key Takeaway 2 quantified: a native multiplier would speed
+        up PIM multiplication by an order of magnitude or more."""
+        for row in get_experiment("abl_native_mul").run():
+            assert row.series["speedup x"] > 10
+
+    def test_residency_transfers_dominate(self):
+        for row in get_experiment("abl_residency").run():
+            assert (
+                row.series["pim (with host transfers)"]
+                > 20 * row.series["pim (data resident)"]
+            )
+
+    def test_tasklet_rows_cover_saturation_point(self):
+        xs = [row.x for row in get_experiment("obs_tasklets").run()]
+        assert 11 in xs and 1 in xs and 24 in xs

@@ -1,0 +1,69 @@
+"""Reproduction scorecard: classification logic and overall health."""
+
+import pytest
+
+from repro.harness.paper import PAPER_CLAIMS, PaperClaim
+from repro.harness.scorecard import (
+    ClaimVerdict,
+    _classify,
+    build_scorecard,
+    render_scorecard,
+)
+
+
+def claim(lo=2.0, hi=4.0):
+    return PaperClaim("figX", "pim", "cpu", lo, hi, lo, hi, "test")
+
+
+class TestClassification:
+    def test_in_band(self):
+        assert _classify(claim(2, 4), 2.5, 3.5) == "in-band"
+
+    def test_partial_overlap(self):
+        assert _classify(claim(2, 4), 1.5, 3.0) == "partial"
+        assert _classify(claim(2, 4), 3.0, 6.0) == "partial"
+
+    def test_direction_only(self):
+        assert _classify(claim(10, 20), 2.0, 5.0) == "direction"
+
+    def test_fail_on_wrong_winner(self):
+        assert _classify(claim(2, 4), 0.8, 3.0) == "FAIL"
+
+    def test_exact_band_edges_in_band(self):
+        assert _classify(claim(2, 4), 2.0, 4.0) == "in-band"
+
+
+class TestFullScorecard:
+    @pytest.fixture(scope="class")
+    def verdicts(self):
+        return build_scorecard()
+
+    def test_every_claim_scored(self, verdicts):
+        assert len(verdicts) == len(PAPER_CLAIMS)
+
+    def test_no_failures(self, verdicts):
+        """The reproduction's hard invariant: every winner the paper
+        reports wins in the model."""
+        assert all(v.verdict != "FAIL" for v in verdicts)
+
+    def test_majority_in_or_near_band(self, verdicts):
+        strong = sum(1 for v in verdicts if v.verdict in ("in-band", "partial"))
+        assert strong >= 12  # 13 of 16 at the time of writing
+
+    def test_direction_only_claims_documented(self, verdicts):
+        """Any claim outside the paper band must carry a note."""
+        for v in verdicts:
+            if v.verdict == "direction":
+                assert v.claim.note, v.claim.describe()
+
+    def test_render(self, verdicts):
+        text = render_scorecard(verdicts)
+        assert "summary:" in text
+        assert "0 FAIL" in text
+        assert text.count("\n") >= len(verdicts)
+
+    def test_cli_command(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["scorecard"]) == 0
+        assert "Reproduction scorecard" in capsys.readouterr().out

@@ -1,0 +1,135 @@
+"""Carry-chain addition/subtraction/comparison: correctness + costs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.mpint.add import (
+    add_with_carry,
+    compare,
+    conditional_subtract,
+    negate_mod,
+    sub_with_borrow,
+)
+from repro.mpint.cost import OpTally
+from repro.mpint.limbs import from_limbs, to_limbs
+
+
+def limb_pair(n_limbs):
+    bound = 2 ** (32 * n_limbs) - 1
+    return st.tuples(
+        st.integers(min_value=0, max_value=bound),
+        st.integers(min_value=0, max_value=bound),
+    )
+
+
+class TestAddWithCarry:
+    @given(limb_pair(4))
+    def test_matches_integer_addition(self, pair):
+        a, b = pair
+        total, carry = add_with_carry(
+            to_limbs(a, 4), to_limbs(b, 4), OpTally()
+        )
+        assert from_limbs(total) + (carry << 128) == a + b
+
+    def test_carry_propagates_through_all_limbs(self):
+        a = to_limbs(2**128 - 1, 4)
+        b = to_limbs(1, 4)
+        total, carry = add_with_carry(a, b, OpTally())
+        assert from_limbs(total) == 0
+        assert carry == 1
+
+    @pytest.mark.parametrize("n_limbs", [1, 2, 4, 8])
+    def test_instruction_pattern_is_add_then_addc(self, n_limbs):
+        # The paper's wide addition: one add + (n-1) addc, exactly.
+        tally = OpTally()
+        add_with_carry(
+            to_limbs(0, n_limbs), to_limbs(0, n_limbs), tally
+        )
+        expected = {"add": 1}
+        if n_limbs > 1:
+            expected["addc"] = n_limbs - 1
+        assert tally.as_dict() == expected
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            add_with_carry((1, 2), (1,), OpTally())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            add_with_carry((), (), OpTally())
+
+
+class TestSubWithBorrow:
+    @given(limb_pair(4))
+    def test_matches_integer_subtraction(self, pair):
+        a, b = pair
+        diff, borrow = sub_with_borrow(
+            to_limbs(a, 4), to_limbs(b, 4), OpTally()
+        )
+        assert from_limbs(diff) - (borrow << 128) == a - b
+
+    def test_borrow_set_when_a_less_than_b(self):
+        _, borrow = sub_with_borrow(to_limbs(1, 2), to_limbs(2, 2), OpTally())
+        assert borrow == 1
+
+    @given(limb_pair(2))
+    def test_add_then_sub_roundtrips(self, pair):
+        a, b = pair
+        tally = OpTally()
+        total, carry = add_with_carry(to_limbs(a, 2), to_limbs(b, 2), tally)
+        diff, borrow = sub_with_borrow(total, to_limbs(b, 2), tally)
+        assert from_limbs(diff) == a if not carry else True
+        if not carry:
+            assert borrow == 0
+
+
+class TestCompare:
+    @given(limb_pair(4))
+    def test_matches_integer_compare(self, pair):
+        a, b = pair
+        result = compare(to_limbs(a, 4), to_limbs(b, 4), OpTally())
+        assert result == (a > b) - (a < b)
+
+    def test_equal_scans_all_limbs(self):
+        tally = OpTally()
+        compare(to_limbs(5, 4), to_limbs(5, 4), tally)
+        assert tally.as_dict()["cmp"] == 4
+
+    def test_top_limb_difference_stops_early(self):
+        tally = OpTally()
+        compare(to_limbs(1 << 96, 4), to_limbs(0, 4), tally)
+        assert tally.as_dict()["cmp"] == 1
+
+
+class TestConditionalSubtract:
+    @given(st.integers(min_value=2, max_value=2**64 - 1), st.data())
+    def test_reduces_sums_of_residues(self, modulus, data):
+        a = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+        b = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+        total = a + b  # < 2 * modulus, fits 3 limbs
+        result = conditional_subtract(
+            to_limbs(total, 3), to_limbs(modulus, 3), OpTally()
+        )
+        assert from_limbs(result) == total % modulus
+
+    def test_below_modulus_is_identity(self):
+        a = to_limbs(5, 2)
+        assert conditional_subtract(a, to_limbs(100, 2), OpTally()) == a
+
+
+class TestNegateMod:
+    @given(st.integers(min_value=2, max_value=2**64 - 1), st.data())
+    def test_matches_modular_negation(self, modulus, data):
+        a = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+        result = negate_mod(to_limbs(a, 2), to_limbs(modulus, 2), OpTally())
+        assert from_limbs(result) == (-a) % modulus
+
+    def test_zero_maps_to_zero(self):
+        result = negate_mod(to_limbs(0, 2), to_limbs(97, 2), OpTally())
+        assert from_limbs(result) == 0
+
+    def test_rejects_value_above_modulus(self):
+        with pytest.raises(ParameterError):
+            negate_mod(to_limbs(100, 2), to_limbs(97, 2), OpTally())

@@ -1,0 +1,69 @@
+"""Kernel cycle-breakdown analysis."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.pim.analysis import (
+    OP_CLASSES,
+    kernel_cycle_breakdown,
+    kernel_op_tally,
+    software_multiply_share,
+)
+from repro.pim.kernels import VecAddKernel, VecMulKernel
+from repro.poly.modring import find_ntt_prime
+
+Q109 = find_ntt_prime(109, 4096)
+
+
+class TestOpTally:
+    def test_add_kernel_counts(self):
+        per_op = kernel_op_tally(VecAddKernel(4, Q109), sample_size=32)
+        # The 128-bit carry chain: exactly 1 add and 3 addc per element.
+        assert per_op["add"] == pytest.approx(1.0)
+        assert per_op["addc"] == pytest.approx(3.0)
+
+    def test_rejects_bad_sample(self):
+        with pytest.raises(ParameterError):
+            kernel_op_tally(VecAddKernel(1, 97), sample_size=0)
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        breakdown = kernel_cycle_breakdown(VecMulKernel(4))
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert set(breakdown) == set(OP_CLASSES)
+
+    def test_multiply_kernel_is_loop_dominated(self):
+        """Key Takeaway 2 quantified: the software multiply loop
+        (shifts/logic + control) eats ~90% of the kernel's cycles."""
+        breakdown = kernel_cycle_breakdown(VecMulKernel(4))
+        loop = breakdown["shifts/logic"] + breakdown["control"]
+        assert loop > 0.85
+        assert breakdown["memory"] < 0.01
+
+    def test_add_kernel_is_memory_heavy(self):
+        breakdown = kernel_cycle_breakdown(VecAddKernel(4, Q109))
+        assert breakdown["memory"] > 0.25
+        assert breakdown["arithmetic"] > 0.25
+
+    def test_no_hardware_multiplies_anywhere(self):
+        """First-generation silicon: the mul8 class never appears in
+        the paper's kernels (the model would use it only for the
+        native-multiplier what-if)."""
+        for kernel in (VecMulKernel(1), VecMulKernel(4), VecAddKernel(4, Q109)):
+            assert kernel_cycle_breakdown(kernel)["multiply-hw"] == 0.0
+
+    def test_software_multiply_share(self):
+        assert software_multiply_share(VecMulKernel(4)) > 0.95
+
+    def test_experiment_rows(self):
+        from repro.harness.experiments import get_experiment
+
+        rows = get_experiment("ext_op_breakdown").run()
+        assert len(rows) == 6
+        by_label = {row.label: row for row in rows}
+        mul_row = by_label["vec_mul 128-bit"]
+        assert (
+            mul_row.series["shifts/logic %"] + mul_row.series["control %"]
+            > 85.0
+        )

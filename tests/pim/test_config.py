@@ -1,0 +1,70 @@
+"""UPMEM configuration: paper figures and derived quantities."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.pim.config import UPMEMConfig
+
+
+class TestPaperFigures:
+    """The defaults must match the paper's Section 4.1 description."""
+
+    def test_dpu_count(self):
+        assert UPMEMConfig().n_dpus == 2524
+
+    def test_frequency(self):
+        assert UPMEMConfig().frequency_hz == 425e6
+
+    def test_total_memory_is_158_gb(self):
+        total = UPMEMConfig().total_pim_memory_bytes
+        assert 157e9 < total < 170e9  # "158 GB of PIM-enabled memory"
+
+    def test_aggregate_bandwidth(self):
+        assert UPMEMConfig().aggregate_mram_bandwidth_bytes_per_s == 2145e9
+
+    def test_describe_mentions_paper_numbers(self):
+        text = UPMEMConfig().describe()
+        assert "2524" in text and "425" in text
+
+
+class TestDerived:
+    def test_per_dpu_bandwidth(self):
+        cfg = UPMEMConfig()
+        assert cfg.mram_bandwidth_per_dpu_bytes_per_s == pytest.approx(
+            2145e9 / 2524
+        )
+
+    def test_dma_cycles_per_byte(self):
+        cfg = UPMEMConfig()
+        expected = 425e6 / (2145e9 / 2524)
+        assert cfg.dma_cycles_per_byte == pytest.approx(expected)
+
+    def test_peak_instruction_throughput(self):
+        cfg = UPMEMConfig()
+        assert cfg.peak_instruction_throughput_per_s == pytest.approx(
+            2524 * 425e6
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_dpus", 0),
+            ("frequency_hz", -1.0),
+            ("max_tasklets", 0),
+            ("pipeline_revolve_cycles", 0),
+            ("mram_per_dpu_bytes", 0),
+            ("wram_per_dpu_bytes", -5),
+            ("aggregate_mram_bandwidth_bytes_per_s", 0.0),
+            ("host_to_dpu_bandwidth_bytes_per_s", 0.0),
+            ("launch_overhead_s", -1e-3),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ParameterError):
+            UPMEMConfig(**{field: value})
+
+    def test_custom_config_accepted(self):
+        small = UPMEMConfig(n_dpus=64, frequency_hz=350e6)
+        assert small.n_dpus == 64

@@ -1,0 +1,117 @@
+"""DMA and host-transfer cost models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.pim.config import UPMEMConfig
+from repro.pim.dma import (
+    MAX_DMA_BLOCK_BYTES,
+    dma_cycles,
+    streaming_bandwidth_bytes_per_s,
+)
+from repro.pim.transfer import TransferModel
+
+CFG = UPMEMConfig()
+
+
+class TestDMA:
+    def test_zero_bytes_is_free(self):
+        assert dma_cycles(0, CFG) == 0.0
+
+    def test_fixed_cost_per_transaction(self):
+        one = dma_cycles(8, CFG, block_bytes=8)
+        assert one >= CFG.dma_fixed_cycles
+
+    @given(st.integers(min_value=1, max_value=2**24))
+    def test_monotonic_in_size(self, size):
+        assert dma_cycles(size + 1024, CFG) >= dma_cycles(size, CFG)
+
+    def test_small_blocks_cost_more(self):
+        """PrIM's access-size effect: smaller transactions pay the
+        fixed latency more often."""
+        total = 64 * 1024
+        assert dma_cycles(total, CFG, block_bytes=64) > dma_cycles(
+            total, CFG, block_bytes=2048
+        )
+
+    def test_large_block_bandwidth_near_share(self):
+        """At 2KB blocks the effective bandwidth approaches the per-DPU
+        share of the 2,145 GB/s aggregate."""
+        bw = streaming_bandwidth_bytes_per_s(CFG)
+        share = CFG.mram_bandwidth_per_dpu_bytes_per_s
+        assert 0.85 * share < bw < share
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ParameterError):
+            dma_cycles(100, CFG, block_bytes=4)
+        with pytest.raises(ParameterError):
+            dma_cycles(100, CFG, block_bytes=MAX_DMA_BLOCK_BYTES * 2)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ParameterError):
+            dma_cycles(-1, CFG)
+
+
+class TestTransferModel:
+    def test_zero_bytes_free(self):
+        model = TransferModel(CFG)
+        assert model.host_to_dpu_seconds(0, 100) == 0.0
+        assert model.dpu_to_host_seconds(0, 100) == 0.0
+
+    def test_full_system_bandwidth(self):
+        model = TransferModel(CFG)
+        gb = 10**9
+        t = model.host_to_dpu_seconds(gb, CFG.n_dpus)
+        assert t == pytest.approx(
+            model.per_transfer_overhead_s + gb / CFG.host_to_dpu_bandwidth_bytes_per_s
+        )
+
+    def test_partial_system_scales_down(self):
+        """Engaging half the DPUs engages half the ranks — half the
+        bandwidth (PrIM Section 3.3)."""
+        model = TransferModel(CFG)
+        full = model.host_to_dpu_seconds(10**9, CFG.n_dpus)
+        half = model.host_to_dpu_seconds(10**9, CFG.n_dpus // 2)
+        assert half == pytest.approx(2 * full, rel=0.01)
+
+    def test_retrieve_slower_than_copy(self):
+        model = TransferModel(CFG)
+        down = model.host_to_dpu_seconds(10**9, CFG.n_dpus)
+        up = model.dpu_to_host_seconds(10**9, CFG.n_dpus)
+        assert up > down
+
+    def test_broadcast_constant_in_dpu_count(self):
+        """Broadcast lands bytes on every rank: total bytes and usable
+        bandwidth both scale with the engaged DPUs, so the time per
+        byte-per-DPU is constant (above the serial-transfer floor)."""
+        model = TransferModel(CFG)
+        small = model.broadcast_seconds(1024, 200)
+        large = model.broadcast_seconds(1024, 2000)
+        assert large == pytest.approx(small)
+
+    def test_serial_transfer_floor(self):
+        """A single-DPU copy runs at the serial bandwidth (~0.3 GB/s),
+        not at a 1/2524 share of the aggregate."""
+        model = TransferModel(CFG)
+        seconds = model.dpu_to_host_seconds(300_000, 1)
+        assert seconds < 0.002  # ~1 ms + overhead, not ~160 ms
+
+    def test_broadcast_scales_with_payload(self):
+        model = TransferModel(CFG)
+        assert model.broadcast_seconds(2048, 100) > model.broadcast_seconds(
+            1024, 100
+        )
+
+    def test_rejects_bad_dpu_count(self):
+        model = TransferModel(CFG)
+        with pytest.raises(ParameterError):
+            model.host_to_dpu_seconds(100, 0)
+        with pytest.raises(ParameterError):
+            model.host_to_dpu_seconds(100, CFG.n_dpus + 1)
+
+    def test_rejects_negative_bytes(self):
+        model = TransferModel(CFG)
+        with pytest.raises(ParameterError):
+            model.dpu_to_host_seconds(-1, 10)

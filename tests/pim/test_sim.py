@@ -1,0 +1,201 @@
+"""Cycle-level DPU simulator: regimes, invariants, model validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.pim.config import UPMEMConfig
+from repro.pim.dma import dma_cycles
+from repro.pim.kernels import VecAddKernel, VecMulKernel
+from repro.pim.sim import (
+    DPUSimulator,
+    Phase,
+    SimResult,
+    TaskletProgram,
+    simulate_kernel,
+)
+from repro.pim.tasklet import pipeline_cycles
+from repro.poly.modring import find_ntt_prime
+
+CFG = UPMEMConfig()
+
+
+def compute_program(instructions: int) -> TaskletProgram:
+    return TaskletProgram((Phase("compute", instructions),))
+
+
+class TestPureComputeRegimes:
+    def test_single_tasklet_revolve_bound(self):
+        result = DPUSimulator(CFG).run([compute_program(100)])
+        # Last instruction needs no trailing revolve wait: 99*11 + 1.
+        assert result.cycles == 99 * 11 + 1
+
+    def test_eleven_tasklets_saturate(self):
+        result = DPUSimulator(CFG).run([compute_program(100)] * 11)
+        assert result.cycles == pytest.approx(1100, abs=11)
+        assert result.issue_utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_sixteen_tasklets_dispatch_limited(self):
+        result = DPUSimulator(CFG).run([compute_program(100)] * 16)
+        assert result.cycles == 1600
+        assert result.issue_utilization == 1.0
+
+    @given(st.integers(min_value=1, max_value=24), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=25)
+    def test_matches_analytic_pipeline_bound(self, tasklets, instructions):
+        """Pure compute: simulation within one revolve period of the
+        closed form, for every (tasklets, length) combination."""
+        result = DPUSimulator(CFG).run(
+            [compute_program(instructions)] * tasklets
+        )
+        analytic = pipeline_cycles([instructions] * tasklets)
+        assert analytic - 11 <= result.cycles <= analytic + 11
+
+    def test_all_instructions_issued(self):
+        result = DPUSimulator(CFG).run([compute_program(37)] * 5)
+        assert result.instructions_issued == 5 * 37
+
+
+class TestPureDMARegimes:
+    def test_single_transfer_cost(self):
+        result = DPUSimulator(CFG).run(
+            [TaskletProgram((Phase("dma", 2048),))]
+        )
+        assert result.cycles == pytest.approx(dma_cycles(2048, CFG), abs=2)
+
+    def test_transfers_serialize_on_shared_engine(self):
+        one = DPUSimulator(CFG).run([TaskletProgram((Phase("dma", 2048),))])
+        four = DPUSimulator(CFG).run(
+            [TaskletProgram((Phase("dma", 2048),))] * 4
+        )
+        assert four.cycles == pytest.approx(4 * one.cycles, rel=0.01)
+
+    def test_dma_utilization_full_when_dma_only(self):
+        result = DPUSimulator(CFG).run(
+            [TaskletProgram((Phase("dma", 1024),))] * 3
+        )
+        assert result.dma_utilization == pytest.approx(1.0, abs=0.02)
+
+
+class TestMixedRegimes:
+    def test_compute_hides_dma_when_saturated(self):
+        """With many tasklets and compute-heavy phases, total time is
+        near the pure-compute bound: DMA hides behind the pipeline."""
+        heavy = TaskletProgram(
+            (Phase("dma", 64), Phase("compute", 5000), Phase("dma", 64))
+        )
+        result = DPUSimulator(CFG).run([heavy] * 16)
+        compute_bound = pipeline_cycles([5000] * 16)
+        assert result.cycles <= compute_bound * 1.05
+
+    def test_dma_dominates_when_thin_compute(self):
+        thin = TaskletProgram(
+            (Phase("dma", 2048), Phase("compute", 10), Phase("dma", 2048))
+        )
+        result = DPUSimulator(CFG).run([thin] * 8)
+        dma_bound = dma_cycles(8 * 4096, CFG)
+        assert result.cycles >= dma_bound * 0.95
+
+    def test_cycles_bounded_by_sum_and_max(self):
+        """Sanity bracket: max(compute, dma) <= sim <= compute + dma."""
+        program = TaskletProgram(
+            (Phase("dma", 512), Phase("compute", 800), Phase("dma", 256))
+        )
+        result = DPUSimulator(CFG).run([program] * 12)
+        compute = pipeline_cycles([800] * 12)
+        dma = dma_cycles(12 * 768, CFG)
+        assert result.cycles >= max(compute, dma) * 0.99
+        assert result.cycles <= compute + dma
+
+
+class TestStreamingPrograms:
+    def test_phase_structure(self):
+        program = TaskletProgram.streaming(
+            100, 10.0, in_bytes_per_element=8, out_bytes_per_element=4,
+            block_elements=32,
+        )
+        kinds = [p.kind for p in program.phases]
+        assert kinds[:3] == ["dma", "compute", "dma"]
+        assert program.total_dma_bytes == 100 * 12
+        assert program.total_instructions == pytest.approx(1000, abs=4)
+
+    def test_zero_output_streams_skip_dma(self):
+        program = TaskletProgram.streaming(10, 5.0, 16, 0, 10)
+        assert [p.kind for p in program.phases] == ["dma", "compute"]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TaskletProgram.streaming(-1, 1.0, 1, 1, 10)
+        with pytest.raises(ParameterError):
+            Phase("io", 1)
+        with pytest.raises(ParameterError):
+            Phase("compute", -1)
+
+
+class TestModelValidation:
+    """The headline: the analytic runtime model tracks the simulation."""
+
+    @pytest.mark.parametrize(
+        "kernel,n_elements,tolerance",
+        [
+            (VecMulKernel(4), 512, 0.02),  # compute-bound: tight
+            (VecAddKernel(4, find_ntt_prime(109, 4096)), 4096, 0.10),
+        ],
+    )
+    def test_sixteen_tasklet_operating_point(
+        self, kernel, n_elements, tolerance
+    ):
+        from repro.pim.tasklet import split_evenly
+
+        sim = simulate_kernel(kernel, n_elements, tasklets=16, config=CFG)
+        cpe = kernel.cycles_per_element()
+        compute = pipeline_cycles(
+            [round(s * cpe) for s in split_evenly(n_elements, 16)]
+        )
+        dma = dma_cycles(n_elements * kernel.mram_bytes_per_element(), CFG)
+        analytic = max(compute, dma)
+        assert sim.cycles == pytest.approx(analytic, rel=tolerance)
+
+    def test_analytic_never_overestimates_much(self):
+        """The closed form is optimistic (perfect overlap); simulation
+        must never come in *below* it by more than scheduling noise."""
+        kernel = VecAddKernel(2, find_ntt_prime(54, 2048))
+        from repro.pim.tasklet import split_evenly
+
+        for tasklets in (4, 8, 16):
+            sim = simulate_kernel(kernel, 2048, tasklets, CFG)
+            cpe = kernel.cycles_per_element()
+            compute = pipeline_cycles(
+                [round(s * cpe) for s in split_evenly(2048, tasklets)]
+            )
+            dma = dma_cycles(2048 * kernel.mram_bytes_per_element(), CFG)
+            assert sim.cycles >= max(compute, dma) * 0.98
+
+    def test_experiment_rows(self):
+        from repro.harness.experiments import get_experiment
+
+        rows = get_experiment("ext_sim_validation").run()
+        assert len(rows) == 8
+        for row in rows:
+            # Analytic model within 20% everywhere, within 1% for the
+            # compute-bound multiply kernels at saturation.
+            assert abs(row.series["error %"]) < 20.0
+        mul_16 = next(
+            r for r in rows if r.label == "vec_mul 128-bit, 16 tasklets"
+        )
+        assert abs(mul_16.series["error %"]) < 1.0
+
+
+class TestValidationErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            DPUSimulator(CFG).run([])
+
+    def test_too_many_tasklets_rejected(self):
+        with pytest.raises(ParameterError):
+            DPUSimulator(CFG).run([compute_program(1)] * 25)
+
+    def test_simulate_kernel_validates_tasklets(self):
+        with pytest.raises(ParameterError):
+            simulate_kernel(VecMulKernel(1), 100, tasklets=0)

@@ -1,0 +1,106 @@
+"""Pipeline model: revolve limit, saturation, and work splitting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.pim.tasklet import effective_tasklets, pipeline_cycles, split_evenly
+
+
+class TestPipelineCycles:
+    def test_single_tasklet_pays_revolve_penalty(self):
+        assert pipeline_cycles([100]) == 1100  # 11 cycles per instruction
+
+    def test_exactly_eleven_saturates(self):
+        assert pipeline_cycles([100] * 11) == 1100
+
+    def test_beyond_eleven_dispatch_limited(self):
+        assert pipeline_cycles([100] * 16) == 1600
+
+    def test_saturation_point(self):
+        """Per-instruction throughput stops improving at 11 tasklets —
+        the paper's Observation 1."""
+        per_instr = [
+            pipeline_cycles([1000] * t) / (1000 * t) for t in range(1, 25)
+        ]
+        # Strictly improving below 11...
+        for i in range(10):
+            assert per_instr[i] > per_instr[i + 1] or per_instr[i + 1] == 1.0
+        # ...flat at 1 cycle/instruction from 11 on.
+        for i in range(10, 24):
+            assert per_instr[i] == 1.0
+
+    def test_unbalanced_tasklets_limited_by_slowest(self):
+        # One tasklet with all the work behaves like a single tasklet.
+        assert pipeline_cycles([1000, 0, 0, 0]) == 11000
+
+    def test_custom_revolve(self):
+        assert pipeline_cycles([10], revolve_cycles=14) == 140
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            pipeline_cycles([])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ParameterError):
+            pipeline_cycles([5, -1])
+
+    def test_rejects_bad_revolve(self):
+        with pytest.raises(ParameterError):
+            pipeline_cycles([5], revolve_cycles=0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=24)
+    )
+    def test_bounds_property(self, counts):
+        """Cycles are at least the dispatch bound and at least the
+        revolve bound, and equal to one of them."""
+        cycles = pipeline_cycles(counts)
+        assert cycles >= sum(counts)
+        assert cycles >= 11 * max(counts)
+        assert cycles in (sum(counts), 11 * max(counts))
+
+
+class TestSplitEvenly:
+    def test_exact_division(self):
+        assert split_evenly(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        assert split_evenly(10, 3) == [4, 3, 3]
+
+    def test_fewer_items_than_ways(self):
+        assert split_evenly(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_total(self):
+        assert split_evenly(0, 3) == [0, 0, 0]
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_conserves_total_and_balance(self, total, ways):
+        parts = split_evenly(total, ways)
+        assert sum(parts) == total
+        assert max(parts) - min(parts) <= 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ParameterError):
+            split_evenly(10, 0)
+        with pytest.raises(ParameterError):
+            split_evenly(-1, 2)
+
+
+class TestEffectiveTasklets:
+    def test_clamped_to_hardware(self):
+        assert effective_tasklets(32, 24, 1000) == 24
+
+    def test_clamped_to_work(self):
+        assert effective_tasklets(16, 24, 3) == 3
+
+    def test_at_least_one(self):
+        assert effective_tasklets(16, 24, 0) == 1
+
+    def test_rejects_non_positive_request(self):
+        with pytest.raises(ParameterError):
+            effective_tasklets(0, 24, 10)

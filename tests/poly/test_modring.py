@@ -1,0 +1,155 @@
+"""Number theory: primality, NTT primes, roots of unity, Barrett."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.poly.modring import (
+    BarrettReducer,
+    find_ntt_prime,
+    inverse_mod,
+    is_prime,
+    minimal_primitive_root,
+    root_of_unity,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+        for n in range(50):
+            assert is_prime(n) == (n in primes), n
+
+    def test_mersenne_prime(self):
+        assert is_prime(2**61 - 1)
+
+    def test_mersenne_composite(self):
+        assert not is_prime(2**67 - 1)  # famous: 193707721 * 761838257287
+
+    def test_carmichael_numbers_rejected(self):
+        for c in (561, 1105, 1729, 41041, 825265):
+            assert not is_prime(c), c
+
+    def test_large_square_rejected(self):
+        p = 2**61 - 1
+        assert not is_prime(p * p)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_agrees_with_trial_division(self, n):
+        def trial(m):
+            if m < 2:
+                return False
+            f = 2
+            while f * f <= m:
+                if m % f == 0:
+                    return False
+                f += 1
+            return True
+
+        assert is_prime(n) == trial(n)
+
+
+class TestFindNTTPrime:
+    @pytest.mark.parametrize(
+        "bits,degree", [(27, 1024), (54, 2048), (109, 4096), (62, 4096)]
+    )
+    def test_prime_has_right_form(self, bits, degree):
+        p = find_ntt_prime(bits, degree)
+        assert p.bit_length() == bits
+        assert p % (2 * degree) == 1
+        assert is_prime(p)
+
+    def test_deterministic(self):
+        assert find_ntt_prime(40, 256) == find_ntt_prime(40, 256)
+
+    def test_indexed_primes_distinct_and_descending(self):
+        primes = [find_ntt_prime(62, 1024, index=i) for i in range(4)]
+        assert len(set(primes)) == 4
+        assert primes == sorted(primes, reverse=True)
+
+    def test_rejects_non_power_of_two_degree(self):
+        with pytest.raises(ParameterError):
+            find_ntt_prime(30, 1000)
+
+    def test_rejects_impossible_bit_length(self):
+        # No 10-bit prime can be 1 mod 2048.
+        with pytest.raises(ParameterError):
+            find_ntt_prime(10, 1024)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ParameterError):
+            find_ntt_prime(30, 64, index=-1)
+
+
+class TestPrimitiveRoot:
+    @pytest.mark.parametrize(
+        "p,root", [(3, 2), (5, 2), (7, 3), (17, 3), (23, 5), (41, 6)]
+    )
+    def test_known_minimal_roots(self, p, root):
+        assert minimal_primitive_root(p) == root
+
+    def test_root_generates_group(self):
+        p = 97
+        g = minimal_primitive_root(p)
+        powers = {pow(g, k, p) for k in range(p - 1)}
+        assert powers == set(range(1, p))
+
+    def test_rejects_composite(self):
+        with pytest.raises(ParameterError):
+            minimal_primitive_root(100)
+
+
+class TestRootOfUnity:
+    @pytest.mark.parametrize("degree", [8, 64, 256])
+    def test_primitive_2n_root(self, degree):
+        p = find_ntt_prime(30, degree)
+        order = 2 * degree
+        w = root_of_unity(p, order)
+        assert pow(w, order, p) == 1
+        assert pow(w, order // 2, p) == p - 1  # psi^n == -1: negacyclic
+
+    def test_rejects_non_dividing_order(self):
+        with pytest.raises(ParameterError):
+            root_of_unity(17, 5)
+
+
+class TestInverseMod:
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_inverse_times_value_is_one(self, a):
+        p = 2**31 - 1  # Mersenne prime
+        if a % p == 0:
+            return
+        assert a * inverse_mod(a, p) % p == 1
+
+    def test_rejects_non_invertible(self):
+        with pytest.raises(ParameterError):
+            inverse_mod(6, 9)
+
+
+class TestBarrettReducer:
+    @given(st.integers(min_value=2, max_value=2**62 - 1), st.data())
+    def test_matches_modulo(self, modulus, data):
+        x = data.draw(st.integers(min_value=0, max_value=modulus**2 - 1))
+        assert BarrettReducer(modulus).reduce(x) == x % modulus
+
+    def test_mulmod(self):
+        r = BarrettReducer(10007)
+        assert r.mulmod(9999, 10001) == 9999 * 10001 % 10007
+
+    def test_rejects_out_of_range_input(self):
+        r = BarrettReducer(97)
+        with pytest.raises(ParameterError):
+            r.reduce(97 * 97)
+        with pytest.raises(ParameterError):
+            r.reduce(-1)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ParameterError):
+            BarrettReducer(1)
+
+    def test_wide_modulus(self):
+        p = find_ntt_prime(109, 4096)
+        r = BarrettReducer(p)
+        x = (p - 1) * (p - 2)
+        assert r.reduce(x) == x % p

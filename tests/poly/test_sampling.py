@@ -1,0 +1,95 @@
+"""Samplers: ranges, determinism, and distribution sanity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.poly.modring import find_ntt_prime
+from repro.poly.sampling import (
+    DEFAULT_CBD_ETA,
+    sample_centered_binomial,
+    sample_ternary,
+    sample_uniform,
+)
+
+
+class TestUniform:
+    def test_values_in_range(self, rng):
+        q = 1009
+        values = sample_uniform(500, q, rng)
+        assert len(values) == 500
+        assert all(0 <= v < q for v in values)
+
+    def test_wide_modulus(self, rng):
+        """The 109-bit modulus exceeds native words; sampling must
+        still be exact."""
+        q = find_ntt_prime(109, 4096)
+        values = sample_uniform(64, q, rng)
+        assert all(0 <= v < q for v in values)
+        assert max(values).bit_length() > 64  # actually uses the range
+
+    def test_deterministic_for_seed(self):
+        a = sample_uniform(32, 997, np.random.default_rng(5))
+        b = sample_uniform(32, 997, np.random.default_rng(5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = sample_uniform(32, 997, np.random.default_rng(5))
+        b = sample_uniform(32, 997, np.random.default_rng(6))
+        assert a != b
+
+    def test_covers_range(self, rng):
+        """Rejection sampling must not truncate the top of the range."""
+        values = sample_uniform(2000, 7, rng)
+        assert set(values) == set(range(7))
+
+    def test_mean_near_half_modulus(self, rng):
+        q = 2**20
+        values = sample_uniform(4000, q, rng)
+        assert abs(np.mean(values) / q - 0.5) < 0.02
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ParameterError):
+            sample_uniform(0, 97, rng)
+        with pytest.raises(ParameterError):
+            sample_uniform(4, 1, rng)
+
+
+class TestTernary:
+    def test_support(self, rng):
+        values = sample_ternary(3000, rng)
+        assert set(values) <= {-1, 0, 1}
+        assert set(values) == {-1, 0, 1}  # all three appear at n=3000
+
+    def test_roughly_uniform(self, rng):
+        values = sample_ternary(9000, rng)
+        for v in (-1, 0, 1):
+            assert abs(values.count(v) / 9000 - 1 / 3) < 0.03
+
+    def test_rejects_zero_count(self, rng):
+        with pytest.raises(ParameterError):
+            sample_ternary(0, rng)
+
+
+class TestCenteredBinomial:
+    def test_support_bounded(self, rng):
+        values = sample_centered_binomial(2000, rng, eta=8)
+        assert all(-8 <= v <= 8 for v in values)
+
+    def test_mean_zero_variance_eta_half(self, rng):
+        eta = DEFAULT_CBD_ETA
+        values = sample_centered_binomial(20000, rng, eta=eta)
+        assert abs(np.mean(values)) < 0.1
+        assert np.var(values) == pytest.approx(eta / 2, rel=0.1)
+
+    def test_default_eta_matches_sigma_3_2(self, rng):
+        """The default error width approximates the HE-standard
+        sigma ~ 3.2."""
+        sigma = (DEFAULT_CBD_ETA / 2) ** 0.5
+        assert 3.0 < sigma < 3.5
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ParameterError):
+            sample_centered_binomial(0, rng)
+        with pytest.raises(ParameterError):
+            sample_centered_binomial(4, rng, eta=0)

@@ -1,0 +1,86 @@
+"""Synthetic datasets and their plaintext reference statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.workloads.dataset import RegressionDataset, UserDataset
+
+
+class TestUserDataset:
+    def test_shape(self):
+        data = UserDataset.generate(10, 5, seed=1)
+        assert data.n_users == 10
+        assert data.samples_per_user == 5
+
+    def test_value_range(self):
+        data = UserDataset.generate(20, 4, seed=1, low=5, high=15)
+        assert all(5 <= v < 15 for row in data.values for v in row)
+
+    def test_deterministic(self):
+        assert UserDataset.generate(5, 3, seed=9) == UserDataset.generate(
+            5, 3, seed=9
+        )
+
+    def test_column_sums(self):
+        data = UserDataset(((1, 2), (3, 4), (5, 6)))
+        assert data.column_sums() == [9, 12]
+
+    def test_column_means(self):
+        data = UserDataset(((1, 2), (3, 4)))
+        assert data.column_means() == [2.0, 3.0]
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20)
+    def test_variance_matches_numpy(self, users, samples):
+        data = UserDataset.generate(users, samples, seed=3)
+        arr = np.array(data.values, dtype=float)
+        expected = arr.var(axis=0)  # population variance
+        assert np.allclose(data.column_variances(), expected)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ParameterError):
+            UserDataset.generate(0, 3)
+        with pytest.raises(ParameterError):
+            UserDataset.generate(3, 3, low=5, high=5)
+
+
+class TestRegressionDataset:
+    def test_shape(self):
+        data = RegressionDataset.generate(16, 3, seed=2)
+        assert data.n_samples == 16
+        assert data.n_features == 3
+        assert len(data.true_coefficients) == 3
+
+    def test_deterministic(self):
+        a = RegressionDataset.generate(8, 3, seed=4)
+        b = RegressionDataset.generate(8, 3, seed=4)
+        assert a.x == b.x and a.y == b.y
+
+    def test_normal_equations_exact(self):
+        data = RegressionDataset.generate(12, 3, seed=5)
+        xtx, xty = data.normal_equation_terms()
+        x = np.array(data.x)
+        assert np.array_equal(np.array(xtx), x.T @ x)
+        assert np.array_equal(np.array(xty), x.T @ np.array(data.y))
+
+    def test_solution_close_to_true_coefficients(self):
+        """With small noise the recovered model tracks the generator."""
+        data = RegressionDataset.generate(200, 3, seed=6, noise=1)
+        solution = data.solve_reference()
+        assert np.allclose(solution, data.true_coefficients, atol=0.2)
+
+    def test_xtx_symmetric(self):
+        data = RegressionDataset.generate(10, 3, seed=7)
+        xtx, _ = data.normal_equation_terms()
+        for i in range(3):
+            for j in range(3):
+                assert xtx[i][j] == xtx[j][i]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ParameterError):
+            RegressionDataset.generate(0, 3)
+        with pytest.raises(ParameterError):
+            RegressionDataset.generate(5, 0)
