@@ -18,10 +18,12 @@ import pathlib
 
 import pytest
 
+from repro import obs
 from repro.harness.experiments import get_experiment
 from repro.harness.report import format_experiment
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+METRICS_PATH = RESULTS_DIR / "metrics.jsonl"
 
 
 @pytest.fixture(scope="session")
@@ -31,16 +33,44 @@ def results_dir() -> pathlib.Path:
 
 
 @pytest.fixture(scope="session")
-def regenerate():
-    """Run an experiment, persist its table, return its rows."""
+def _metrics_log():
+    """Fresh per-session metrics log: one JSONL record per experiment."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    METRICS_PATH.write_text("")
+    return METRICS_PATH
+
+
+@pytest.fixture(scope="session")
+def regenerate(_metrics_log):
+    """Run an experiment, persist its table and metrics, return its rows.
+
+    Each regeneration runs under its own :class:`~repro.obs.MetricsRegistry`
+    and appends ``{"experiment": id, "metrics": {...}}`` to
+    ``benchmarks/results/metrics.jsonl`` — kernel launches, DPU
+    occupancy, compute-vs-DMA tallies, and per-backend request counts
+    for every regenerated figure.
+    """
+    import json
 
     def _regenerate(experiment_id: str):
         experiment = get_experiment(experiment_id)
-        rows = experiment.run()
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            rows = experiment.run()
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{experiment_id}.txt").write_text(
             format_experiment(experiment, rows) + "\n"
         )
+        with open(_metrics_log, "a") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "experiment": experiment_id,
+                        "metrics": registry.snapshot(),
+                    }
+                )
+                + "\n"
+            )
         return rows
 
     return _regenerate

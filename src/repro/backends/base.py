@@ -20,6 +20,8 @@ import abc
 from dataclasses import dataclass, field
 
 from repro.errors import ParameterError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 #: Operation names backends must support.
 SUPPORTED_OPS = frozenset({"vec_add", "vec_mul", "tensor_mul", "reduce_sum"})
@@ -115,14 +117,50 @@ class TimingBreakdown:
 
 
 class Backend(abc.ABC):
-    """A platform that can price element-wise operation requests."""
+    """A platform that can price element-wise operation requests.
+
+    Subclasses implement :meth:`_price` (the pure cost model); the
+    public :meth:`time_op` wraps every pricing in the observability
+    layer — a ``backend.<name>.<op>`` span carrying the request shape
+    and the full :class:`TimingBreakdown` detail, plus per-backend
+    request counters — and is a plain pass-through when tracing and
+    metrics are disabled (the default).
+    """
 
     #: Short registry name ("pim", "cpu", "cpu-seal", "gpu").
     name: str = "backend"
 
     @abc.abstractmethod
+    def _price(self, request: OpRequest) -> TimingBreakdown:
+        """Modelled execution time for one request (the cost model)."""
+
     def time_op(self, request: OpRequest) -> TimingBreakdown:
-        """Modelled execution time for one request."""
+        """Price one request, emitting a span and metrics if enabled."""
+        tracer = get_tracer()
+        registry = get_registry()
+        if not (tracer.enabled or registry.enabled):
+            return self._price(request)
+        with tracer.span(
+            f"backend.{self.name}.{request.op}",
+            attrs={
+                "backend": self.name,
+                "op": request.op,
+                "width_bits": request.width_bits,
+                "n_elements": request.n_elements,
+                "work_units": request.effective_work_units,
+                "launches": request.launches,
+                "op_dispatches": request.op_dispatches,
+            },
+        ) as span:
+            breakdown = self._price(request)
+            span.set_attr("modelled_s", breakdown.seconds)
+            for key, value in breakdown.detail.items():
+                span.set_attr(f"detail.{key}", value)
+        registry.counter(f"backend.{self.name}.requests").inc()
+        registry.histogram(f"backend.{self.name}.modelled_s").observe(
+            breakdown.seconds
+        )
+        return breakdown
 
     def time_ops(self, requests) -> float:
         """Total seconds for a sequence of (dependent) requests."""

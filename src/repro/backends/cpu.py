@@ -65,7 +65,7 @@ class CustomCPUBackend(Backend):
             return 4 * spec.mul_cycles(limbs) + spec.add_cycles(2 * limbs)
         raise AssertionError(request.op)
 
-    def time_op(self, request: OpRequest) -> TimingBreakdown:
+    def _price(self, request: OpRequest) -> TimingBreakdown:
         compute_s = (
             request.n_elements
             * self._compute_cycles_per_element(request)

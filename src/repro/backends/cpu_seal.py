@@ -63,7 +63,7 @@ class SEALBackend(Backend):
             ) * rns_limbs
         raise AssertionError(request.op)
 
-    def time_op(self, request: OpRequest) -> TimingBreakdown:
+    def _price(self, request: OpRequest) -> TimingBreakdown:
         k = self.spec.rns_limbs(request.width_bits)
         compute_s = (
             request.n_elements

@@ -51,7 +51,7 @@ class GPUBackend(Backend):
             return self.spec.add_efficiency
         return self.spec.mul_efficiency
 
-    def time_op(self, request: OpRequest) -> TimingBreakdown:
+    def _price(self, request: OpRequest) -> TimingBreakdown:
         bandwidth = self.spec.hbm_bytes_per_s * self._efficiency(request.op)
         memory_s = container_traffic_bytes(request) / bandwidth
         compute_s = (

@@ -64,7 +64,7 @@ class PIMBackend(Backend):
             self._kernels[key] = kernel
         return self._kernels[key]
 
-    def time_op(self, request: OpRequest) -> TimingBreakdown:
+    def _price(self, request: OpRequest) -> TimingBreakdown:
         kernel = self._kernel_for(request)
         timing = self.runtime.time_kernel(
             kernel,

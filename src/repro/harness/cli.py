@@ -6,7 +6,12 @@ Subcommands:
 * ``run <id> [<id> ...]`` — run experiments and print their tables;
 * ``report [-o FILE]`` — run everything and write the markdown
   paper-vs-measured report (the generator of EXPERIMENTS.md);
-* ``platforms`` — describe the modelled platforms.
+* ``platforms`` — describe the modelled platforms;
+* ``obs [--trace F] [--chrome F] [--metrics F] [--report] run <id>...``
+  — run experiments with tracing enabled and export the spans.
+
+Setting ``REPRO_TRACE`` (see :func:`repro.obs.configure_from_env`)
+enables tracing for *any* subcommand and flushes at process exit.
 """
 
 from __future__ import annotations
@@ -27,12 +32,24 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    for eid in args.ids:
-        experiment = get_experiment(eid)
-        print(format_experiment(experiment, experiment.run()))
+def _run_and_print(ids, keep_going: bool) -> int:
+    """Run experiments, print tables, report failures; exit status."""
+    from repro.harness.runner import run_all
+
+    results = run_all(ids, keep_going=keep_going)
+    for eid, rows in results.items():
+        print(format_experiment(get_experiment(eid), rows))
         print()
-    return 0
+    for eid, exc in results.failures.items():
+        print(
+            f"experiment {eid!r} FAILED: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+    return 1 if results.failures else 0
+
+
+def _cmd_run(args) -> int:
+    return _run_and_print(args.ids, args.keep_going)
 
 
 def _cmd_report(args) -> int:
@@ -44,6 +61,36 @@ def _cmd_report(args) -> int:
     else:
         print(report)
     return 0
+
+
+def _cmd_obs(args) -> int:
+    """Run experiments under a recording tracer and export the spans."""
+    from repro import obs
+
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    with obs.use_tracer(tracer), obs.use_registry(registry):
+        status = _run_and_print(args.ids, args.keep_going)
+    spans = tracer.finished
+    exported = False
+    if args.trace:
+        n = obs.write_jsonl(spans, args.trace)
+        print(f"wrote {n} spans to {args.trace}", file=sys.stderr)
+        exported = True
+    if args.chrome:
+        obs.write_chrome_trace(spans, args.chrome)
+        print(f"wrote Chrome trace to {args.chrome}", file=sys.stderr)
+        exported = True
+    if args.metrics:
+        import json
+
+        with open(args.metrics, "w") as handle:
+            handle.write(json.dumps(registry.snapshot()) + "\n")
+        print(f"wrote metrics snapshot to {args.metrics}", file=sys.stderr)
+        exported = True
+    if args.tree or not exported:
+        print(obs.render_time_tree(spans))
+    return status
 
 
 def _cmd_platforms(_args) -> int:
@@ -158,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run experiments and print tables")
     run_parser.add_argument("ids", nargs="+", help="experiment ids")
+    run_parser.add_argument(
+        "-k",
+        "--keep-going",
+        action="store_true",
+        help="on a per-experiment failure, report it and continue",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     report_parser = sub.add_parser(
@@ -168,6 +221,43 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="output file (default: stdout)"
     )
     report_parser.set_defaults(func=_cmd_report)
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="run experiments with tracing enabled and export the trace",
+    )
+    obs_parser.add_argument(
+        "--trace", metavar="FILE", help="write spans as JSONL to FILE"
+    )
+    obs_parser.add_argument(
+        "--chrome",
+        metavar="FILE",
+        help="write a chrome://tracing / Perfetto JSON trace to FILE",
+    )
+    obs_parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the metrics-registry snapshot as JSON to FILE",
+    )
+    obs_parser.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the text time-attribution tree (default when no "
+        "export file is given)",
+    )
+    obs_parser.add_argument(
+        "-k",
+        "--keep-going",
+        action="store_true",
+        help="on a per-experiment failure, report it and continue",
+    )
+    obs_parser.add_argument(
+        "action",
+        choices=("run",),
+        help="what to do under tracing (currently: run)",
+    )
+    obs_parser.add_argument("ids", nargs="+", help="experiment ids")
+    obs_parser.set_defaults(func=_cmd_obs)
 
     sub.add_parser(
         "platforms", help="describe the modelled platforms"
@@ -197,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from repro.obs import configure_from_env
+
+    configure_from_env()  # honour the REPRO_TRACE switch
     args = build_parser().parse_args(argv)
     return args.func(args)
 

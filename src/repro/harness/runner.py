@@ -1,19 +1,76 @@
-"""Experiment runner: execute registered experiments by id."""
+"""Experiment runner: execute registered experiments by id.
+
+Every experiment runs inside an ``experiment.<id>`` span (one per
+experiment — the root of that experiment's trace tree when tracing is
+enabled), and batch runs can either fail fast with the offending
+experiment id named, or keep going and collect failures.
+"""
 
 from __future__ import annotations
 
+from repro.errors import ExperimentError
 from repro.harness.experiments import EXPERIMENTS, get_experiment
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+
+class BatchResults(dict):
+    """``run_all`` results: experiment id -> rows, plus failures.
+
+    A plain dict (existing consumers iterate it unchanged) carrying a
+    ``failures`` mapping of experiment id -> exception for experiments
+    skipped under ``keep_going``.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failures: dict = {}
 
 
 def run_experiment(experiment_id: str) -> list:
     """Run one experiment and return its rows."""
-    return get_experiment(experiment_id).run()
+    experiment = get_experiment(experiment_id)
+    tracer = get_tracer()
+    registry = get_registry()
+    if not (tracer.enabled or registry.enabled):
+        return experiment.run()
+    with tracer.span(
+        f"experiment.{experiment_id}",
+        attrs={
+            "experiment": experiment_id,
+            "paper_ref": experiment.paper_ref,
+            "unit": experiment.unit,
+        },
+    ) as span:
+        rows = experiment.run()
+        span.set_attr("n_rows", len(rows))
+    registry.counter("experiments.runs").inc()
+    registry.counter(f"experiments.{experiment_id}.runs").inc()
+    return rows
 
 
-def run_all(ids=None) -> dict:
+def run_all(ids=None, keep_going: bool = False) -> BatchResults:
     """Run several experiments (default: all), id -> rows.
 
-    Runs in registry order so reports are stable.
+    Runs in registry order so reports are stable. On a per-experiment
+    error the default is to fail fast with an
+    :class:`~repro.errors.ExperimentError` naming the failed id (the
+    original exception chained); with ``keep_going`` the failing
+    experiment is skipped, recorded in the returned mapping's
+    ``failures`` dict, and the batch continues.
     """
     selected = list(EXPERIMENTS) if ids is None else list(ids)
-    return {eid: run_experiment(eid) for eid in selected}
+    results = BatchResults()
+    for eid in selected:
+        try:
+            results[eid] = run_experiment(eid)
+        except ExperimentError:
+            # Unknown/malformed id: a caller error, never swallowed.
+            raise
+        except Exception as exc:
+            if not keep_going:
+                raise ExperimentError(
+                    f"experiment {eid!r} failed: {exc}"
+                ) from exc
+            results.failures[eid] = exc
+    return results

@@ -1,0 +1,80 @@
+"""``repro.obs`` — zero-dependency tracing and metrics for the model.
+
+The pipeline (workloads -> backends -> PIM runtime -> kernels) computes
+rich intermediate results — per-kernel compute/DMA breakdowns, tasklet
+counts, limb-operation tallies — and historically discarded everything
+but final scalars. This package keeps that story observable:
+
+* :mod:`repro.obs.trace` — nested spans with wall-clock *and* modelled
+  device time, a process-global tracer, and a null no-op default;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with the same
+  null-by-default discipline;
+* :mod:`repro.obs.export` — JSONL, Chrome-trace, and text-tree
+  exporters over finished spans.
+
+Quick start::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        run_experiment("fig1a")
+    obs.write_jsonl(tracer.finished, "trace.jsonl")
+    print(obs.render_time_tree(tracer.finished))
+
+Or, without touching code: ``REPRO_TRACE=trace.jsonl repro-experiments
+run fig1a``. See ``docs/observability.md``.
+"""
+
+from repro.obs.export import (
+    read_jsonl,
+    render_time_tree,
+    span_to_dict,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    configure_from_env,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "configure_from_env",
+    # metrics
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    # export
+    "span_to_dict",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_time_tree",
+]

@@ -1,0 +1,256 @@
+"""Exporters: JSONL span files, Chrome traces, text attribution trees.
+
+Three consumers of the same finished-span list:
+
+* **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`): one JSON object
+  per line, lossless round-trip of every span field — the archival
+  format, and what ``REPRO_TRACE=file.jsonl`` produces;
+* **Chrome trace** (:func:`to_chrome_trace` /
+  :func:`write_chrome_trace`): a ``{"traceEvents": [...]}`` document
+  loadable in ``chrome://tracing`` or Perfetto, with spans as complete
+  ("ph": "X") events on a wall-clock timeline and attributes as event
+  ``args``;
+* **text tree** (:func:`render_time_tree`): an aggregated terminal
+  report attributing wall and modelled time down the span hierarchy —
+  the quick "where did the time go" answer.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "span_to_dict",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_time_tree",
+]
+
+
+def _jsonable(value):
+    """Coerce attribute values to JSON-serializable equivalents."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def span_to_dict(span) -> dict:
+    """One span as a plain JSON-able dict."""
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "wall_s": span.wall_s,
+        "attrs": _jsonable(span.attrs),
+    }
+
+
+def _as_records(spans_or_records) -> list:
+    records = []
+    for item in spans_or_records:
+        if isinstance(item, dict):
+            records.append(_jsonable(item))
+        else:
+            records.append(span_to_dict(item))
+    return records
+
+
+def write_jsonl(spans_or_records, path_or_file) -> int:
+    """Write spans (or plain dict records) as JSON lines.
+
+    Accepts a path or an open text file; returns the number of lines
+    written.
+    """
+    records = _as_records(spans_or_records)
+    if hasattr(path_or_file, "write"):
+        for record in records:
+            path_or_file.write(json.dumps(record) + "\n")
+    else:
+        with open(path_or_file, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def read_jsonl(path_or_file) -> list:
+    """Read a JSONL trace back as a list of dicts (round-trip)."""
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()
+    else:
+        with open(path_or_file) as handle:
+            lines = handle.read().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+# -- Chrome trace -----------------------------------------------------------
+
+
+def to_chrome_trace(spans, process_name: str = "repro model") -> dict:
+    """Spans as a Chrome-trace (``chrome://tracing`` / Perfetto) document.
+
+    Every finished span becomes one complete event ("ph": "X") whose
+    timestamp/duration are **wall-clock** microseconds relative to the
+    earliest span start; modelled device time and every other attribute
+    ride along in ``args``, so both clock domains survive the export.
+    """
+    spans = [s for s in spans if s.end_s is not None]
+    origin = min((s.start_s for s in spans), default=0.0)
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "ts": (span.start_s - origin) * 1e6,
+                "dur": span.wall_s * 1e6,
+                "args": _jsonable(span.attrs)
+                | {"span_id": span.span_id, "parent_id": span.parent_id},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans, path_or_file, **kwargs) -> None:
+    """Serialize :func:`to_chrome_trace` output as a JSON file."""
+    document = to_chrome_trace(spans, **kwargs)
+    if hasattr(path_or_file, "write"):
+        json.dump(document, path_or_file)
+    else:
+        with open(path_or_file, "w") as handle:
+            json.dump(document, handle)
+
+
+# -- text attribution tree --------------------------------------------------
+
+
+class _Node:
+    __slots__ = ("name", "count", "wall_s", "modelled_s", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.wall_s = 0.0
+        self.modelled_s = 0.0
+        self.children: dict = {}
+
+
+def _modelled_of(span_dict) -> float:
+    try:
+        return float(span_dict["attrs"].get("modelled_s", 0.0))
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def build_time_tree(spans) -> _Node:
+    """Aggregate spans into a name-keyed hierarchy.
+
+    Accepts ``Span`` objects or dicts as produced by
+    :func:`span_to_dict` (so traces read back from JSONL render the
+    same report). Sibling spans with the same name merge: counts,
+    wall seconds, and modelled seconds accumulate.
+    """
+    records = _as_records(spans)
+    by_id = {r["span_id"]: r for r in records}
+    children: dict = {}
+    roots = []
+    for record in records:
+        parent = record["parent_id"]
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    root = _Node("<root>")
+
+    def fold(node: _Node, record) -> None:
+        child = node.children.get(record["name"])
+        if child is None:
+            child = node.children[record["name"]] = _Node(record["name"])
+        child.count += 1
+        child.wall_s += record["wall_s"] or 0.0
+        child.modelled_s += _modelled_of(record)
+        for grandchild in children.get(record["span_id"], ()):
+            fold(child, grandchild)
+
+    for record in roots:
+        fold(root, record)
+    return root
+
+
+def render_time_tree(spans, indent: str = "  ") -> str:
+    """The aggregated time-attribution tree as aligned text.
+
+    Wall time is what this process spent running the model; modelled
+    time is what the simulated hardware would spend. A node's times
+    include its children's (spans nest), so each level reads as "of the
+    parent's time, this much is attributed here".
+    """
+    root = build_time_tree(spans)
+    if not root.children:
+        return "(no spans recorded)"
+    rows = []
+
+    def walk(node: _Node, depth: int) -> None:
+        for name in sorted(
+            node.children, key=lambda n: -node.children[n].wall_s
+        ):
+            child = node.children[name]
+            rows.append(
+                (
+                    f"{indent * depth}{child.name}",
+                    f"{child.count}x",
+                    f"wall {child.wall_s * 1e3:10.3f} ms",
+                    f"modelled {child.modelled_s * 1e3:14.3f} ms",
+                )
+            )
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    label_width = max(len(r[0]) for r in rows)
+    count_width = max(len(r[1]) for r in rows)
+    lines = ["time attribution (wall = this process, modelled = device)"]
+    for label, count, wall, modelled in rows:
+        lines.append(
+            f"{label.ljust(label_width)}  {count.rjust(count_width)}"
+            f"  {wall}  {modelled}"
+        )
+    return "\n".join(lines)
+
+
+def validate_chrome_trace(document) -> None:
+    """Raise :class:`~repro.errors.ParameterError` on schema violations.
+
+    Used by tests and the CLI as a cheap guard that exported documents
+    will load in ``chrome://tracing``.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ParameterError("chrome trace must be a dict with traceEvents")
+    for event in document["traceEvents"]:
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ParameterError(f"trace event missing {key!r}: {event}")
+        if event["ph"] == "X" and (
+            "ts" not in event or "dur" not in event
+        ):
+            raise ParameterError(f"complete event missing ts/dur: {event}")

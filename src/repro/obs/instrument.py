@@ -1,0 +1,56 @@
+"""Shared instrumentation helpers for the model pipeline.
+
+Keeps the observability wiring out of the domain code: workloads call
+:func:`traced_time_on` instead of hand-rolling span plumbing, and get a
+``workload.<ClassName>`` span (with the workload's declarative shape as
+attributes) wrapping the per-request backend spans underneath.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+__all__ = ["traced_time_on"]
+
+#: Workload dataclass fields worth surfacing as span attributes.
+_SHAPE_FIELDS = (
+    "security_bits",
+    "n_ciphertexts",
+    "n_users",
+    "samples_per_user",
+    "ciphertexts_per_user",
+    "n_features",
+    "relinearize",
+)
+
+
+def traced_time_on(workload, backend) -> float:
+    """Price a workload on a backend inside a ``workload.*`` span.
+
+    Behaviourally identical to
+    ``backend.time_ops(workload.device_requests())``; when observability
+    is enabled the call additionally emits one span per workload timing
+    (modelled seconds attached) and bumps per-workload counters.
+    """
+    tracer = get_tracer()
+    registry = get_registry()
+    requests = workload.device_requests()
+    if not (tracer.enabled or registry.enabled):
+        return backend.time_ops(requests)
+    name = type(workload).__name__
+    attrs = {
+        "workload": name,
+        "backend": backend.name,
+        "n_requests": len(requests),
+    }
+    for field in _SHAPE_FIELDS:
+        value = getattr(workload, field, None)
+        if value is not None:
+            attrs[field] = value
+    with tracer.span(f"workload.{name}", attrs=attrs) as span:
+        seconds = backend.time_ops(requests)
+        span.set_attr("modelled_s", seconds)
+    registry.counter(f"workload.{name}.timings").inc()
+    registry.histogram("workload.modelled_s").observe(seconds)
+    return seconds

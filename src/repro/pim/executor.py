@@ -31,6 +31,8 @@ from repro.core.ciphertext import Ciphertext
 from repro.core.params import BFVParameters
 from repro.errors import CiphertextError, ParameterError
 from repro.mpint.cost import OpTally
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.pim.kernels import ReduceSumKernel, TensorMulKernel, VecAddKernel
 from repro.pim.runtime import KernelTiming, PIMRuntime
 from repro.poly.polynomial import Polynomial
@@ -80,19 +82,21 @@ class DeviceEvaluator:
                 "device add expects equal-size ciphertexts "
                 f"(got {a.size} and {b.size})"
             )
-        elements = [
-            (ca, cb)
-            for pa, pb in zip(a.polys, b.polys)
-            for ca, cb in zip(pa.coeffs, pb.coeffs)
-        ]
-        outputs, tally = self._add_kernel.execute(elements)
-        polys = self._rebuild_polys(outputs, a.size)
-        timing = self.runtime.time_kernel(
-            self._add_kernel, len(elements), work_units=1
-        )
-        run = DeviceRun(
-            self._add_kernel.name, len(elements), tally, timing
-        )
+        with get_tracer().span("device.add") as span:
+            elements = [
+                (ca, cb)
+                for pa, pb in zip(a.polys, b.polys)
+                for ca, cb in zip(pa.coeffs, pb.coeffs)
+            ]
+            outputs, tally = self._add_kernel.execute(elements)
+            polys = self._rebuild_polys(outputs, a.size)
+            timing = self.runtime.time_kernel(
+                self._add_kernel, len(elements), work_units=1
+            )
+            run = DeviceRun(
+                self._add_kernel.name, len(elements), tally, timing
+            )
+            self._observe(span, run)
         return Ciphertext(self.params, polys), run
 
     def sum_many(self, ciphertexts) -> tuple:
@@ -112,23 +116,31 @@ class DeviceEvaluator:
             if ct.size != size:
                 raise CiphertextError("device sum expects equal-size inputs")
         n = self.params.poly_degree
-        tally = OpTally()
-        sums = []
-        for component in range(size):
-            component_sums = []
-            for position in range(n):
-                self._reduce_kernel.reset()
-                for ct in cts:
-                    self._reduce_kernel.run_element(
-                        ct.polys[component].coeffs[position], tally
-                    )
-                component_sums.append(self._reduce_kernel.accumulator)
-            sums.append(Polynomial(component_sums, self.params.coeff_modulus))
-        n_elements = len(cts) * size * n
-        timing = self.runtime.time_kernel(
-            self._reduce_kernel, n_elements, work_units=len(cts)
-        )
-        run = DeviceRun(self._reduce_kernel.name, n_elements, tally, timing)
+        with get_tracer().span(
+            "device.sum_many", attrs={"n_ciphertexts": len(cts)}
+        ) as span:
+            tally = OpTally()
+            sums = []
+            for component in range(size):
+                component_sums = []
+                for position in range(n):
+                    self._reduce_kernel.reset()
+                    for ct in cts:
+                        self._reduce_kernel.run_element(
+                            ct.polys[component].coeffs[position], tally
+                        )
+                    component_sums.append(self._reduce_kernel.accumulator)
+                sums.append(
+                    Polynomial(component_sums, self.params.coeff_modulus)
+                )
+            n_elements = len(cts) * size * n
+            timing = self.runtime.time_kernel(
+                self._reduce_kernel, n_elements, work_units=len(cts)
+            )
+            run = DeviceRun(
+                self._reduce_kernel.name, n_elements, tally, timing
+            )
+            self._observe(span, run)
         return Ciphertext(self.params, sums), run
 
     def tensor(self, a: Ciphertext, b: Ciphertext) -> tuple:
@@ -142,28 +154,52 @@ class DeviceEvaluator:
         a.check_compatible(b)
         if a.size != 2 or b.size != 2:
             raise CiphertextError("device tensor expects size-2 operands")
-        elements = [
-            (a0, a1, b0, b1)
-            for a0, a1, b0, b1 in zip(
-                a.polys[0].coeffs,
-                a.polys[1].coeffs,
-                b.polys[0].coeffs,
-                b.polys[1].coeffs,
+        with get_tracer().span("device.tensor") as span:
+            elements = [
+                (a0, a1, b0, b1)
+                for a0, a1, b0, b1 in zip(
+                    a.polys[0].coeffs,
+                    a.polys[1].coeffs,
+                    b.polys[0].coeffs,
+                    b.polys[1].coeffs,
+                )
+            ]
+            outputs, tally = self._tensor_kernel.execute(elements)
+            timing = self.runtime.time_kernel(
+                self._tensor_kernel, len(elements), work_units=1
             )
-        ]
-        outputs, tally = self._tensor_kernel.execute(elements)
-        timing = self.runtime.time_kernel(
-            self._tensor_kernel, len(elements), work_units=1
-        )
-        run = DeviceRun(
-            self._tensor_kernel.name, len(elements), tally, timing
-        )
+            run = DeviceRun(
+                self._tensor_kernel.name, len(elements), tally, timing
+            )
+            self._observe(span, run)
         d0 = tuple(o[0] for o in outputs)
         d1 = tuple(o[1] for o in outputs)
         d2 = tuple(o[2] for o in outputs)
         return (d0, d1, d2), run
 
     # -- helpers ------------------------------------------------------------
+
+    def _observe(self, span, run: DeviceRun) -> None:
+        """Attach a run's tally and timing to its span and metrics.
+
+        The exact data-dependent limb-operation counts are folded into
+        ``limb_ops.*`` counters — the measured ground truth behind the
+        analytic per-element cycle costs.
+        """
+        span.set_attrs(
+            {
+                "kernel": run.kernel_name,
+                "n_elements": run.n_elements,
+                "tally_total": run.tally.total(),
+                "modelled_s": run.timing.total_seconds,
+            }
+        )
+        registry = get_registry()
+        registry.counter(f"device.{run.kernel_name}.executions").inc()
+        registry.counter(f"device.{run.kernel_name}.elements").inc(
+            run.n_elements
+        )
+        registry.record_tally(run.tally)
 
     def _check(self, ct: Ciphertext) -> None:
         if ct.params != self.params:

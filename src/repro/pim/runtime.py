@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import DeviceError, ParameterError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.pim.config import UPMEMConfig
 from repro.pim.dma import dma_cycles
 from repro.pim.kernels.base import Kernel
@@ -75,11 +77,38 @@ class KernelTiming:
             f"kernel {self.kernel_seconds * 1e3:.3f} ms",
             f"launch {self.launch_seconds * 1e3:.3f} ms",
         ]
-        if self.host_to_dpu_seconds or self.dpu_to_host_seconds:
+        if self.host_to_dpu_seconds:
             parts.append(
-                f"transfers {(self.host_to_dpu_seconds + self.dpu_to_host_seconds) * 1e3:.3f} ms"
+                f"host->dpu {self.host_to_dpu_seconds * 1e3:.3f} ms"
+            )
+        if self.dpu_to_host_seconds:
+            parts.append(
+                f"dpu->host {self.dpu_to_host_seconds * 1e3:.3f} ms"
             )
         return " | ".join(parts)
+
+    def as_attrs(self) -> dict:
+        """The full breakdown as flat span attributes.
+
+        This is what ``time_kernel`` attaches to its span, so traces
+        carry the complete per-kernel timing story — compute vs. DMA
+        cycles, the bound, and the host<->DPU transfer split.
+        """
+        return {
+            "kernel": self.kernel_name,
+            "n_elements": self.n_elements,
+            "dpus_used": self.dpus_used,
+            "tasklets_per_dpu": self.tasklets_per_dpu,
+            "cycles_per_element": self.cycles_per_element,
+            "compute_cycles": self.compute_cycles,
+            "dma_cycles": self.dma_cycles,
+            "bound": "compute" if self.compute_bound else "dma",
+            "kernel_s": self.kernel_seconds,
+            "launch_s": self.launch_seconds,
+            "host_to_dpu_s": self.host_to_dpu_seconds,
+            "dpu_to_host_s": self.dpu_to_host_seconds,
+            "modelled_s": self.total_seconds,
+        }
 
 
 @dataclass
@@ -125,7 +154,52 @@ class PIMRuntime:
         ``include_transfer`` adds host->DPU input scatter and
         DPU->host result gather — off by default, matching the paper's
         PIM-resident-data deployment model.
+
+        When observability is enabled (:mod:`repro.obs`), every call
+        emits a ``pim.time_kernel.<name>`` span carrying the full
+        breakdown (:meth:`KernelTiming.as_attrs`) and updates launch /
+        bound / DPU-occupancy metrics; with the default null tracer the
+        pricing runs bare.
         """
+        tracer = get_tracer()
+        registry = get_registry()
+        if not (tracer.enabled or registry.enabled):
+            return self._compute_timing(
+                kernel, n_elements, work_units, tasklets, launches,
+                include_transfer,
+            )
+        with tracer.span(
+            f"pim.time_kernel.{kernel.name}",
+            attrs={"kernel": kernel.name, "launches": launches},
+        ) as span:
+            timing = self._compute_timing(
+                kernel, n_elements, work_units, tasklets, launches,
+                include_transfer,
+            )
+            span.set_attrs(timing.as_attrs())
+        registry.counter("pim.kernel_launches").inc(launches)
+        registry.counter(f"pim.kernels.{kernel.name}").inc()
+        registry.counter(
+            "pim.compute_bound" if timing.compute_bound else "pim.dma_bound"
+        ).inc()
+        registry.histogram(
+            "pim.dpus_engaged", buckets=(1, 64, 256, 1024, 2048, 2560)
+        ).observe(timing.dpus_used)
+        registry.histogram("pim.kernel_modelled_s").observe(
+            timing.total_seconds
+        )
+        return timing
+
+    def _compute_timing(
+        self,
+        kernel: Kernel,
+        n_elements: int,
+        work_units: int | None,
+        tasklets: int | None,
+        launches: int,
+        include_transfer: bool,
+    ) -> KernelTiming:
+        """The pure pricing model behind :meth:`time_kernel`."""
         if n_elements <= 0:
             raise ParameterError(f"n_elements must be positive: {n_elements}")
         if launches <= 0:

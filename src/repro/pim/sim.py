@@ -91,6 +91,138 @@ class TaskletProgram:
         return sum(p.amount for p in self.phases if p.kind == DMA)
 
 
+@dataclass
+class SimTrace:
+    """Optional per-cycle event trace of one simulated DPU run.
+
+    Records every dispatcher issue (cycle, tasklet) and every DMA
+    transfer (tasklet, start, completion, bytes) as they happen.
+    Exportable two ways:
+
+    * :meth:`events` — compacted dict records (consecutive issues by
+      one tasklet merge into segments) suitable for
+      :func:`repro.obs.export.write_jsonl`;
+    * :meth:`to_chrome_trace` — a ``chrome://tracing`` / Perfetto
+      document with one timeline row per tasklet plus a DMA-engine
+      row. The time axis is **modelled cycles** (1 cycle rendered as
+      1 µs), not wall time — this is the device's schedule, not the
+      simulator's.
+    """
+
+    issues: list = field(default_factory=list)  # (cycle, tasklet)
+    dmas: list = field(default_factory=list)  # (tasklet, start, end, bytes)
+
+    def record_issue(self, cycle: int, tasklet: int) -> None:
+        self.issues.append((cycle, tasklet))
+
+    def record_dma(
+        self, tasklet: int, start: float, end: float, n_bytes: int
+    ) -> None:
+        self.dmas.append((tasklet, start, end, n_bytes))
+
+    def issue_segments(self) -> list:
+        """Issue events compacted into (tasklet, first, last, count) runs.
+
+        A segment covers consecutive cycles in which the dispatcher
+        kept issuing for the same tasklet — the pipeline-occupancy
+        picture at a glance.
+        """
+        segments = []
+        for cycle, tasklet in sorted(self.issues):
+            if (
+                segments
+                and segments[-1][0] == tasklet
+                and segments[-1][2] == cycle - 1
+            ):
+                last = segments[-1]
+                segments[-1] = (tasklet, last[1], cycle, last[3] + 1)
+            else:
+                segments.append((tasklet, cycle, cycle, 1))
+        return segments
+
+    def events(self) -> list:
+        """All activity as JSON-able records (for JSONL export)."""
+        records = [
+            {
+                "kind": "issue",
+                "tasklet": tasklet,
+                "start_cycle": first,
+                "end_cycle": last,
+                "instructions": count,
+            }
+            for tasklet, first, last, count in self.issue_segments()
+        ]
+        records.extend(
+            {
+                "kind": "dma",
+                "tasklet": tasklet,
+                "start_cycle": start,
+                "end_cycle": end,
+                "bytes": n_bytes,
+            }
+            for tasklet, start, end, n_bytes in self.dmas
+        )
+        return records
+
+    def to_chrome_trace(self) -> dict:
+        """The run as a Chrome-trace document (cycles as microseconds)."""
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "DPU (modelled cycles)"},
+            },
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "dma engine"},
+            },
+        ]
+        seen_tasklets = set()
+        for tasklet, first, last, count in self.issue_segments():
+            seen_tasklets.add(tasklet)
+            events.append(
+                {
+                    "name": "issue",
+                    "cat": "pipeline",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tasklet + 1,
+                    "ts": float(first),
+                    "dur": float(last - first + 1),
+                    "args": {"instructions": count},
+                }
+            )
+        for tasklet, start, end, n_bytes in self.dmas:
+            events.append(
+                {
+                    "name": f"dma t{tasklet}",
+                    "cat": "dma",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": 0,
+                    "ts": float(start),
+                    "dur": float(end - start),
+                    "args": {"tasklet": tasklet, "bytes": n_bytes},
+                }
+            )
+        for tasklet in sorted(seen_tasklets):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tasklet + 1,
+                    "args": {"name": f"tasklet {tasklet}"},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
 @dataclass(frozen=True)
 class SimResult:
     """Outcome of one simulated DPU run."""
@@ -131,8 +263,13 @@ class DPUSimulator:
     def __init__(self, config: UPMEMConfig | None = None):
         self.config = config if config is not None else UPMEMConfig()
 
-    def run(self, programs) -> SimResult:
-        """Simulate the given tasklet programs to completion."""
+    def run(self, programs, trace: SimTrace | None = None) -> SimResult:
+        """Simulate the given tasklet programs to completion.
+
+        Pass a :class:`SimTrace` to record per-cycle dispatcher and DMA
+        activity; tracing is off by default and does not change the
+        simulated outcome.
+        """
         programs = list(programs)
         if not programs:
             raise ParameterError("need at least one tasklet program")
@@ -149,8 +286,10 @@ class DPUSimulator:
         issued = 0
         clock = 0
         last_issued = -1  # round-robin pointer
-        for state in states:
-            dma_busy += self._advance_into_phase(state, 0.0, dma_free)
+        for index, state in enumerate(states):
+            dma_busy += self._advance_into_phase(
+                state, 0.0, dma_free, index, trace
+            )
 
         while any(not s.done for s in states):
             # Find ready tasklets: in a compute phase, revolve satisfied,
@@ -174,10 +313,12 @@ class DPUSimulator:
                 state.next_issue = clock + revolve
                 issued += 1
                 last_issued = choice
+                if trace is not None:
+                    trace.record_issue(clock, choice)
                 if state.remaining == 0:
                     state.phase_index += 1
                     dma_busy += self._advance_into_phase(
-                        state, float(clock + 1), dma_free
+                        state, float(clock + 1), dma_free, choice, trace
                     )
                 clock += 1
                 continue
@@ -208,7 +349,12 @@ class DPUSimulator:
         )
 
     def _advance_into_phase(
-        self, state: _TaskletState, now: float, dma_free: list
+        self,
+        state: _TaskletState,
+        now: float,
+        dma_free: list,
+        tasklet: int = 0,
+        trace: SimTrace | None = None,
     ) -> float:
         """Move a tasklet into its next runnable phase.
 
@@ -236,6 +382,8 @@ class DPUSimulator:
             dma_free[0] = completion
             state.blocked_until = completion
             busy_added += cost
+            if trace is not None:
+                trace.record_dma(tasklet, start, completion, phase.amount)
             state.phase_index += 1
             now = completion
 
@@ -246,6 +394,7 @@ def simulate_kernel(
     tasklets: int,
     config: UPMEMConfig | None = None,
     block_elements: int = 64,
+    trace: SimTrace | None = None,
 ) -> SimResult:
     """Simulate a device kernel's streaming execution on one DPU.
 
@@ -269,7 +418,7 @@ def simulate_kernel(
         for share in split_evenly(n_elements, tasklets)
         if share > 0
     ]
-    return DPUSimulator(config).run(programs)
+    return DPUSimulator(config).run(programs, trace=trace)
 
 
 def _kernel_out_bytes(kernel) -> int:

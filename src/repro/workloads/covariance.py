@@ -17,6 +17,7 @@ import numpy as np
 from repro.backends.base import Backend, OpRequest
 from repro.core.params import BFVParameters
 from repro.errors import ParameterError
+from repro.obs.instrument import traced_time_on
 from repro.workloads.context import WorkloadContext
 
 
@@ -69,7 +70,7 @@ class CovarianceWorkload:
 
     def time_on(self, backend: Backend) -> float:
         """Modelled seconds of the device portion on a backend."""
-        return backend.time_ops(self.device_requests())
+        return traced_time_on(self, backend)
 
     def run_functional(
         self,

@@ -24,6 +24,7 @@ import numpy as np
 from repro.backends.base import Backend, OpRequest
 from repro.core.params import BFVParameters
 from repro.errors import ParameterError
+from repro.obs.instrument import traced_time_on
 from repro.workloads.context import WorkloadContext
 from repro.workloads.dataset import RegressionDataset
 
@@ -97,7 +98,7 @@ class LinearRegressionWorkload:
 
     def time_on(self, backend: Backend) -> float:
         """Modelled seconds of the device portion on a backend."""
-        return backend.time_ops(self.device_requests())
+        return traced_time_on(self, backend)
 
     def run_functional(
         self,

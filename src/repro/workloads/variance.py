@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.backends.base import Backend, OpRequest
 from repro.core.params import BFVParameters
 from repro.errors import ParameterError
+from repro.obs.instrument import traced_time_on
 from repro.workloads.context import WorkloadContext
 from repro.workloads.dataset import UserDataset
 
@@ -98,7 +99,7 @@ class VarianceWorkload:
 
     def time_on(self, backend: Backend) -> float:
         """Modelled seconds of the device portion on a backend."""
-        return backend.time_ops(self.device_requests())
+        return traced_time_on(self, backend)
 
     def run_functional(
         self,

@@ -26,6 +26,7 @@ import numpy as np
 from repro.backends.base import Backend, OpRequest
 from repro.core.params import BFVParameters
 from repro.errors import ParameterError
+from repro.obs.instrument import traced_time_on
 from repro.workloads.context import WorkloadContext
 
 #: Ciphertext batch sizes of Figure 1(a) (vector addition).
@@ -69,7 +70,7 @@ class VectorAddWorkload:
 
     def time_on(self, backend: Backend) -> float:
         """Modelled seconds on a backend."""
-        return backend.time_ops(self.device_requests())
+        return traced_time_on(self, backend)
 
     def run_functional(
         self, context: WorkloadContext, batch: int = 4, seed: int = 11
@@ -120,7 +121,7 @@ class VectorMulWorkload:
 
     def time_on(self, backend: Backend) -> float:
         """Modelled seconds on a backend."""
-        return backend.time_ops(self.device_requests())
+        return traced_time_on(self, backend)
 
     def run_functional(
         self, context: WorkloadContext, batch: int = 2, seed: int = 13

@@ -1,0 +1,85 @@
+"""Batch runner: fail-fast diagnostics and --keep-going collection."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.cli import main
+from repro.harness.experiments import EXPERIMENTS, Experiment
+from repro.harness.runner import BatchResults, run_all, run_experiment
+
+
+@pytest.fixture()
+def broken_experiment(monkeypatch):
+    """Register a deliberately failing experiment for the test's duration."""
+
+    def explode():
+        raise ValueError("synthetic failure")
+
+    experiment = Experiment(
+        id="broken",
+        title="Always fails",
+        paper_ref="none",
+        description="test-only failing experiment",
+        unit="ms",
+        runner=explode,
+    )
+    patched = dict(EXPERIMENTS)
+    patched["broken"] = experiment
+    monkeypatch.setattr(
+        "repro.harness.experiments.EXPERIMENTS", patched
+    )
+    monkeypatch.setattr("repro.harness.runner.EXPERIMENTS", patched)
+    return experiment
+
+
+class TestFailFast:
+    def test_failure_names_the_experiment(self, broken_experiment):
+        with pytest.raises(ExperimentError, match="'broken' failed"):
+            run_all(["fig1a", "broken"])
+
+    def test_original_exception_chained(self, broken_experiment):
+        with pytest.raises(ExperimentError) as excinfo:
+            run_all(["broken"])
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_unknown_id_raises_even_with_keep_going(self):
+        with pytest.raises(ExperimentError):
+            run_all(["no_such_experiment"], keep_going=True)
+
+
+class TestKeepGoing:
+    def test_collects_failures_and_continues(self, broken_experiment):
+        results = run_all(["broken", "fig1a"], keep_going=True)
+        assert "fig1a" in results
+        assert "broken" not in results
+        assert set(results.failures) == {"broken"}
+        assert isinstance(results.failures["broken"], ValueError)
+
+    def test_no_failures_leaves_mapping_empty(self):
+        results = run_all(["fig1a"])
+        assert isinstance(results, BatchResults)
+        assert results.failures == {}
+
+    def test_results_iterate_like_plain_dict(self):
+        results = run_all(["fig1a"])
+        assert list(results) == ["fig1a"]
+        assert results["fig1a"] == run_experiment("fig1a")
+
+
+class TestKeepGoingCLI:
+    def test_cli_flag_reports_failure_and_exits_nonzero(
+        self, broken_experiment, capsys
+    ):
+        status = main(["run", "--keep-going", "broken", "fig1a"])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "experiment 'broken' FAILED" in captured.err
+        assert "ValueError" in captured.err
+        assert "fig1a" in captured.out  # the good experiment still printed
+
+    def test_cli_without_flag_raises(self, broken_experiment):
+        with pytest.raises(ExperimentError):
+            main(["run", "broken"])
+
+    def test_cli_success_exits_zero(self, capsys):
+        assert main(["run", "fig1a"]) == 0

@@ -1,0 +1,139 @@
+"""Metrics registry: instruments, tally fold-in, null defaults."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.mpint.cost import OpTally
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("launches")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ParameterError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ParameterError):
+            registry.gauge("metric")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("occupancy")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(52.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 50.0
+        assert histogram.mean == pytest.approx(17.5)
+
+    def test_bucket_assignment(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 50.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {"le_1": 1, "le_10": 1, "le_inf": 1}
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ParameterError):
+            MetricsRegistry().histogram("h", buckets=(10.0, 1.0))
+
+    def test_empty_histogram_snapshot(self):
+        snapshot = MetricsRegistry().histogram("h").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_is_jsonable_and_sorted(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1.5)
+        registry.histogram("c").observe(0.1)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b", "c"]
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["b"] == {"type": "counter", "value": 2}
+
+    def test_record_tally_folds_limb_ops(self):
+        registry = MetricsRegistry()
+        tally = OpTally()
+        tally.charge("add", 3)
+        tally.charge("lsr", 7)
+        registry.record_tally(tally)
+        registry.record_tally(tally)
+        assert registry.counter("limb_ops.add").value == 6
+        assert registry.counter("limb_ops.lsr").value == 14
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            MetricsRegistry().counter("")
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.clear()
+        assert registry.snapshot() == {}
+
+
+class TestNullRegistry:
+    def test_default_registry_is_null(self):
+        assert isinstance(get_registry(), NullMetricsRegistry)
+        assert not get_registry().enabled
+
+    def test_null_instruments_swallow_updates(self):
+        NULL_REGISTRY.counter("c").inc(5)
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        tally = OpTally()
+        tally.charge("add")
+        NULL_REGISTRY.record_tally(tally)
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_use_registry_scopes_installation(self):
+        registry = MetricsRegistry()
+        before = get_registry()
+        with use_registry(registry):
+            assert get_registry() is registry
+            get_registry().counter("scoped").inc()
+        assert get_registry() is before
+        assert registry.counter("scoped").value == 1
+
+    def test_set_registry_none_restores_null(self):
+        set_registry(MetricsRegistry())
+        try:
+            assert get_registry().enabled
+        finally:
+            set_registry(None)
+        assert isinstance(get_registry(), NullMetricsRegistry)

@@ -157,3 +157,41 @@ class TestTransferInclusion:
     def test_describe_mentions_bound(self, runtime, add_kernel):
         t = runtime.time_kernel(add_kernel, 8192 * 100, work_units=100)
         assert "DMA-bound" in t.describe() or "compute-bound" in t.describe()
+
+
+class TestDescribe:
+    def test_resident_run_omits_transfer_lines(self, runtime, add_kernel):
+        text = runtime.time_kernel(add_kernel, 8192, work_units=1).describe()
+        assert "host->dpu" not in text
+        assert "dpu->host" not in text
+
+    def test_transfer_split_reported_separately(self, runtime, add_kernel):
+        t = runtime.time_kernel(
+            add_kernel, 8192 * 100, work_units=100, include_transfer=True
+        )
+        text = t.describe()
+        assert f"host->dpu {t.host_to_dpu_seconds * 1e3:.3f} ms" in text
+        assert f"dpu->host {t.dpu_to_host_seconds * 1e3:.3f} ms" in text
+        # The old lumped "transfers" line is gone.
+        assert "transfers" not in text
+
+    def test_describe_core_fields(self, runtime, add_kernel):
+        t = runtime.time_kernel(add_kernel, 8192 * 64, work_units=64)
+        text = t.describe()
+        assert text.startswith(f"{t.kernel_name}: {t.total_ms:.3f} ms")
+        assert f"{t.dpus_used} DPUs x {t.tasklets_per_dpu} tasklets" in text
+        assert f"kernel {t.kernel_seconds * 1e3:.3f} ms" in text
+        assert f"launch {t.launch_seconds * 1e3:.3f} ms" in text
+
+    def test_as_attrs_carries_full_breakdown(self, runtime, add_kernel):
+        t = runtime.time_kernel(
+            add_kernel, 8192 * 100, work_units=100, include_transfer=True
+        )
+        attrs = t.as_attrs()
+        assert attrs["kernel"] == t.kernel_name
+        assert attrs["compute_cycles"] == t.compute_cycles
+        assert attrs["dma_cycles"] == t.dma_cycles
+        assert attrs["host_to_dpu_s"] == t.host_to_dpu_seconds
+        assert attrs["dpu_to_host_s"] == t.dpu_to_host_seconds
+        assert attrs["modelled_s"] == t.total_seconds
+        assert attrs["bound"] in ("compute", "dma")

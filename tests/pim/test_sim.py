@@ -199,3 +199,81 @@ class TestValidationErrors:
     def test_simulate_kernel_validates_tasklets(self):
         with pytest.raises(ParameterError):
             simulate_kernel(VecMulKernel(1), 100, tasklets=0)
+
+
+class TestSimTrace:
+    def _mixed_programs(self):
+        program = TaskletProgram(
+            (Phase("dma", 256), Phase("compute", 50), Phase("dma", 256))
+        )
+        return [program] * 4
+
+    def test_trace_records_issues_and_dmas(self):
+        from repro.pim.sim import SimTrace
+
+        trace = SimTrace()
+        result = DPUSimulator(CFG).run(self._mixed_programs(), trace=trace)
+        assert len(trace.issues) == result.instructions_issued
+        assert len(trace.dmas) == 4 * 2  # two DMA phases per tasklet
+        for tasklet, start, end, n_bytes in trace.dmas:
+            assert 0 <= tasklet < 4
+            assert end > start >= 0.0
+            assert n_bytes == 256
+
+    def test_trace_does_not_change_cycles(self):
+        from repro.pim.sim import SimTrace
+
+        plain = DPUSimulator(CFG).run(self._mixed_programs())
+        traced = DPUSimulator(CFG).run(
+            self._mixed_programs(), trace=SimTrace()
+        )
+        assert traced.cycles == plain.cycles
+        assert traced.instructions_issued == plain.instructions_issued
+
+    def test_issue_segments_compact_consecutive_cycles(self):
+        from repro.pim.sim import SimTrace
+
+        trace = SimTrace()
+        DPUSimulator(CFG).run([compute_program(20)], trace=trace)
+        segments = trace.issue_segments()
+        assert sum(count for _, _, _, count in segments) == len(trace.issues)
+        for tasklet, first, last, count in segments:
+            assert last - first + 1 >= count  # cycles cover the issues
+
+    def test_events_are_jsonable_records(self):
+        import json
+
+        from repro.pim.sim import SimTrace
+
+        trace = SimTrace()
+        DPUSimulator(CFG).run(self._mixed_programs(), trace=trace)
+        events = trace.events()
+        json.dumps(events)  # must not raise
+        kinds = {e["kind"] for e in events}
+        assert kinds == {"issue", "dma"}
+
+    def test_chrome_export_valid_and_has_tasklet_rows(self):
+        from repro.obs.export import validate_chrome_trace
+        from repro.pim.sim import SimTrace
+
+        trace = SimTrace()
+        DPUSimulator(CFG).run(self._mixed_programs(), trace=trace)
+        document = trace.to_chrome_trace()
+        validate_chrome_trace(document)
+        names = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "dma engine" in names
+        assert any(name.startswith("tasklet") for name in names)
+
+    def test_simulate_kernel_accepts_trace(self):
+        from repro.pim.sim import SimTrace
+
+        trace = SimTrace()
+        simulate_kernel(
+            VecAddKernel(4, find_ntt_prime(109, 4096)), 1024, tasklets=4, trace=trace
+        )
+        assert trace.issues
+        assert trace.dmas
