@@ -33,22 +33,35 @@ def results_dir() -> pathlib.Path:
 
 
 @pytest.fixture(scope="session")
-def _metrics_log():
-    """Fresh per-session metrics log: one JSONL record per experiment."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    METRICS_PATH.write_text("")
-    return METRICS_PATH
+def _run_identity() -> dict:
+    """One identity (run_id / timestamp / git SHA) for the whole session."""
+    from repro.obs.baseline import run_identity
+
+    return run_identity()
 
 
 @pytest.fixture(scope="session")
-def regenerate(_metrics_log):
+def _metrics_log():
+    """The session's metrics log, appended across sessions by default.
+
+    Every record carries a run identity, so accumulated history stays
+    attributable; set ``REPRO_BENCH_FRESH=1`` to truncate instead and
+    start a clean single-session log.
+    """
+    from repro.obs.baseline import prepare_metrics_log
+
+    return prepare_metrics_log(METRICS_PATH)
+
+
+@pytest.fixture(scope="session")
+def regenerate(_metrics_log, _run_identity):
     """Run an experiment, persist its table and metrics, return its rows.
 
     Each regeneration runs under its own :class:`~repro.obs.MetricsRegistry`
-    and appends ``{"experiment": id, "metrics": {...}}`` to
-    ``benchmarks/results/metrics.jsonl`` — kernel launches, DPU
-    occupancy, compute-vs-DMA tallies, and per-backend request counts
-    for every regenerated figure.
+    and appends one JSONL record — ``run_id``, ISO ``timestamp``, git
+    SHA, the experiment id, and the metrics snapshot (kernel launches,
+    DPU occupancy, compute-vs-DMA tallies, per-backend request counts)
+    — to ``benchmarks/results/metrics.jsonl``.
     """
     import json
 
@@ -65,6 +78,9 @@ def regenerate(_metrics_log):
             handle.write(
                 json.dumps(
                     {
+                        "run_id": _run_identity["run_id"],
+                        "timestamp": _run_identity["created_at"],
+                        "git_sha": _run_identity["git_sha"],
                         "experiment": experiment_id,
                         "metrics": registry.snapshot(),
                     }

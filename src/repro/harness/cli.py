@@ -8,7 +8,12 @@ Subcommands:
   paper-vs-measured report (the generator of EXPERIMENTS.md);
 * ``platforms`` — describe the modelled platforms;
 * ``obs [--trace F] [--chrome F] [--metrics F] [--report] run <id>...``
-  — run experiments with tracing enabled and export the spans.
+  — run experiments with tracing enabled and export the spans;
+* ``perf record|check|diff|html`` — performance baselines, the
+  regression gate (exact modelled times, noise-aware wall times), the
+  attribution diff between recorded runs, and the HTML dashboard.
+
+Installed as both ``repro-experiments`` and the shorter ``repro``.
 
 Setting ``REPRO_TRACE`` (see :func:`repro.obs.configure_from_env`)
 enables tracing for *any* subcommand and flushes at process exit.
@@ -40,9 +45,16 @@ def _run_and_print(ids, keep_going: bool) -> int:
     for eid, rows in results.items():
         print(format_experiment(get_experiment(eid), rows))
         print()
-    for eid, exc in results.failures.items():
+    for record in results.failure_records():
         print(
-            f"experiment {eid!r} FAILED: {type(exc).__name__}: {exc}",
+            f"experiment {record['experiment']!r} FAILED: "
+            f"{record['error_type']}: {record['message']}",
+            file=sys.stderr,
+        )
+    if results.failures:
+        total = len(results) + len(results.failures)
+        print(
+            f"{len(results.failures)} of {total} experiments failed",
             file=sys.stderr,
         )
     return 1 if results.failures else 0
@@ -91,6 +103,81 @@ def _cmd_obs(args) -> int:
     if args.tree or not exported:
         print(obs.render_time_tree(spans))
     return status
+
+
+def _progress(eid: str) -> None:
+    print(f"  recording {eid} ...", file=sys.stderr)
+
+
+def _cmd_perf_record(args) -> int:
+    """Capture a baseline run and append it to the history."""
+    from repro.obs import baseline as bl
+
+    doc = bl.capture_run(
+        args.ids or None, repeats=args.repeats, progress=_progress
+    )
+    bl.write_run(doc, args.baseline)
+    bl.append_history(doc, args.history)
+    print(
+        f"recorded {len(doc['experiments'])} experiments as run "
+        f"{doc['run_id'][:12]} (git {str(doc['git_sha'])[:12]})"
+    )
+    print(f"baseline written to {args.baseline}; history at {args.history}")
+    return 0
+
+
+def _cmd_perf_check(args) -> int:
+    """Re-run and compare against the baseline; non-zero on failure."""
+    from repro.obs import baseline as bl
+    from repro.obs import perf
+
+    baseline = bl.read_run(args.baseline)
+    ids = args.ids or list(baseline["experiments"])
+    current = bl.capture_run(ids, repeats=args.repeats, progress=_progress)
+    bl.append_history(current, args.history)
+    verdicts = perf.check_runs(baseline, current, skip_wall=args.skip_wall)
+    print(perf.render_check(verdicts, baseline, current))
+    if args.update:
+        bl.write_run(current, args.baseline)
+        print(f"baseline re-recorded: {args.baseline}")
+        return 0
+    return perf.exit_code(verdicts)
+
+
+def _cmd_perf_diff(args) -> int:
+    """Attribution diff between two recorded runs."""
+    from repro.obs import baseline as bl
+    from repro.obs import perf
+
+    run_a = bl.find_run(args.run_a, args.history)
+    run_b = bl.find_run(args.run_b, args.history)
+    print(perf.render_diff(run_a, run_b, top_k=args.top))
+    return 0
+
+
+def _cmd_perf_html(args) -> int:
+    """Render the run history as a self-contained HTML dashboard."""
+    import os
+
+    from repro.obs import baseline as bl
+    from repro.obs import htmlreport
+
+    history = bl.read_history(args.history)
+    baseline = (
+        bl.read_run(args.baseline)
+        if os.path.exists(args.baseline)
+        else None
+    )
+    document = htmlreport.render_dashboard(
+        history, baseline, skip_wall=args.skip_wall
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
 
 
 def _cmd_platforms(_args) -> int:
@@ -258,6 +345,107 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_parser.add_argument("ids", nargs="+", help="experiment ids")
     obs_parser.set_defaults(func=_cmd_obs)
+
+    perf_parser = sub.add_parser(
+        "perf",
+        help="performance baselines, regression gate, and dashboard",
+        description=(
+            "Record schema-versioned performance baselines and gate "
+            "changes against them: modelled times must match exactly "
+            "(MODEL-DRIFT otherwise), wall times within a noise-aware "
+            "band (REGRESSION otherwise). See docs/observability.md."
+        ),
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
+
+    def _perf_common(p) -> None:
+        from repro.obs.baseline import (
+            DEFAULT_BASELINE_PATH,
+            DEFAULT_HISTORY_PATH,
+        )
+
+        p.add_argument(
+            "--baseline",
+            default=DEFAULT_BASELINE_PATH,
+            metavar="FILE",
+            help=f"baseline JSON (default: {DEFAULT_BASELINE_PATH})",
+        )
+        p.add_argument(
+            "--history",
+            default=DEFAULT_HISTORY_PATH,
+            metavar="FILE",
+            help=f"run-history JSONL (default: {DEFAULT_HISTORY_PATH})",
+        )
+
+    record_parser = perf_sub.add_parser(
+        "record", help="capture a baseline run (modelled + wall + rollups)"
+    )
+    record_parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiments to record (default: the fast set)",
+    )
+    record_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="untraced wall-time repeats per experiment (default: 3)",
+    )
+    _perf_common(record_parser)
+    record_parser.set_defaults(func=_cmd_perf_record)
+
+    check_parser = perf_sub.add_parser(
+        "check", help="re-run and compare against the baseline"
+    )
+    check_parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiments to check (default: everything in the baseline)",
+    )
+    check_parser.add_argument(
+        "--repeats", type=int, default=3, help="wall-time repeats"
+    )
+    check_parser.add_argument(
+        "--skip-wall",
+        action="store_true",
+        help="modelled-exactness only (for CI / foreign machines)",
+    )
+    check_parser.add_argument(
+        "--update",
+        action="store_true",
+        help="adopt the current run as the new baseline (exit 0)",
+    )
+    _perf_common(check_parser)
+    check_parser.set_defaults(func=_cmd_perf_check)
+
+    diff_parser = perf_sub.add_parser(
+        "diff", help="attribution diff between two recorded runs"
+    )
+    diff_parser.add_argument(
+        "run_a", help="run JSON file, or run-id prefix in the history"
+    )
+    diff_parser.add_argument(
+        "run_b", help="run JSON file, or run-id prefix in the history"
+    )
+    diff_parser.add_argument(
+        "--top", type=int, default=10, help="rows per experiment"
+    )
+    _perf_common(diff_parser)
+    diff_parser.set_defaults(func=_cmd_perf_diff)
+
+    html_parser = perf_sub.add_parser(
+        "html", help="render the run history as a standalone HTML dashboard"
+    )
+    html_parser.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    html_parser.add_argument(
+        "--skip-wall",
+        action="store_true",
+        help="badge on modelled exactness only",
+    )
+    _perf_common(html_parser)
+    html_parser.set_defaults(func=_cmd_perf_html)
 
     sub.add_parser(
         "platforms", help="describe the modelled platforms"

@@ -26,6 +26,22 @@ class BatchResults(dict):
         super().__init__(*args, **kwargs)
         self.failures: dict = {}
 
+    def failure_records(self) -> list:
+        """Collected failures as structured, JSON-able records.
+
+        Each record names the experiment *and* what went wrong —
+        ``{"experiment", "error_type", "message"}`` — so batch
+        reporting never reduces a failure to just its id.
+        """
+        return [
+            {
+                "experiment": eid,
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+            }
+            for eid, exc in self.failures.items()
+        ]
+
 
 def run_experiment(experiment_id: str) -> list:
     """Run one experiment and return its rows."""

@@ -24,8 +24,25 @@ Quick start::
 
 Or, without touching code: ``REPRO_TRACE=trace.jsonl repro-experiments
 run fig1a``. See ``docs/observability.md``.
+
+Layered on top (PR 2): :mod:`repro.obs.baseline` records
+schema-versioned performance runs, :mod:`repro.obs.perf` compares them
+(exact modelled times, noise-aware wall times) and diffs attribution,
+and :mod:`repro.obs.htmlreport` renders the run history as a
+self-contained HTML dashboard — all driven by ``repro perf``.
 """
 
+from repro.obs.baseline import (
+    append_history,
+    capture_experiment,
+    capture_run,
+    find_run,
+    git_sha,
+    read_history,
+    read_run,
+    run_identity,
+    write_run,
+)
 from repro.obs.export import (
     read_jsonl,
     render_time_tree,
@@ -34,6 +51,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.htmlreport import render_dashboard, write_dashboard
 from repro.obs.metrics import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -41,6 +59,14 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
     use_registry,
+)
+from repro.obs.perf import (
+    ExperimentVerdict,
+    check_runs,
+    diff_runs,
+    exit_code,
+    render_check,
+    render_diff,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -77,4 +103,22 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "render_time_tree",
+    # baselines & regression (repro perf)
+    "capture_experiment",
+    "capture_run",
+    "run_identity",
+    "git_sha",
+    "write_run",
+    "read_run",
+    "append_history",
+    "read_history",
+    "find_run",
+    "ExperimentVerdict",
+    "check_runs",
+    "exit_code",
+    "render_check",
+    "diff_runs",
+    "render_diff",
+    "render_dashboard",
+    "write_dashboard",
 ]

@@ -1,0 +1,240 @@
+"""Self-contained HTML perf dashboard (zero dependencies, inline SVG).
+
+One call (:func:`render_dashboard`) turns the recorded run history and
+the committed baseline into a single HTML file: a verdict summary, and
+per experiment a verdict badge, a wall-time trend sparkline across all
+recorded runs, the modelled series totals, and the top attribution
+rows. Everything is inlined — CSS, SVG — so the file opens anywhere
+(including as a CI artifact) with no server and no network.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import pathlib
+
+from repro.obs import perf as _perf
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+_BADGE_COLORS = {
+    _perf.VERDICT_OK: "#2e7d32",
+    _perf.VERDICT_FASTER: "#1565c0",
+    _perf.VERDICT_NEW: "#6a1b9a",
+    _perf.VERDICT_REGRESSION: "#c62828",
+    _perf.VERDICT_DRIFT: "#e65100",
+}
+
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 70em; color: #222; padding: 0 1em; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin: 1.6em 0 .4em; }
+.meta { color: #666; font-size: .9em; }
+.badge { display: inline-block; padding: .15em .6em; border-radius: 1em;
+         color: #fff; font-size: .85em; font-weight: 600;
+         vertical-align: middle; }
+table { border-collapse: collapse; margin: .4em 0 1em; }
+th, td { border: 1px solid #ddd; padding: .25em .6em; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #f5f5f5; }
+.spark { vertical-align: middle; margin-left: .6em; }
+.card { border: 1px solid #e0e0e0; border-radius: 6px;
+        padding: .8em 1em; margin: .8em 0; }
+details > summary { cursor: pointer; color: #555; }
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _badge(verdict: str) -> str:
+    color = _BADGE_COLORS.get(verdict, "#555")
+    return f'<span class="badge" style="background:{color}">{_esc(verdict)}</span>'
+
+
+def _sparkline(values, width: int = 160, height: int = 36) -> str:
+    """An inline SVG polyline of a value series (left = oldest)."""
+    points = [v for v in values if v is not None]
+    if len(points) < 2:
+        return '<span class="meta">(need ≥2 runs for a trend)</span>'
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    pad = 3
+    step = (width - 2 * pad) / (len(points) - 1)
+    coords = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(points)
+    )
+    last_y = height - pad - (points[-1] - lo) / span * (height - 2 * pad)
+    title = (
+        f"wall median trend over {len(points)} runs: "
+        f"min {lo * 1e3:.2f} ms, max {hi * 1e3:.2f} ms"
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f"<title>{_esc(title)}</title>"
+        f'<polyline points="{coords}" fill="none" stroke="#1565c0" '
+        f'stroke-width="1.5"/>'
+        f'<circle cx="{pad + (len(points) - 1) * step:.1f}" '
+        f'cy="{last_y:.1f}" r="2.5" fill="#1565c0"/>'
+        f"</svg>"
+    )
+
+
+def _series_table(modelled: dict) -> str:
+    rows = "".join(
+        f"<tr><td>{_esc(name)}</td><td>{value:,.4f}</td></tr>"
+        for name, value in sorted(modelled["series_totals"].items())
+    )
+    unit = _esc(modelled.get("unit", ""))
+    return (
+        "<table><tr><th>series (totals across "
+        f"{modelled['n_rows']} rows)</th><th>value [{unit}]</th></tr>"
+        f"{rows}</table>"
+    )
+
+
+def _attribution_table(attribution: dict, top_k: int = 5) -> str:
+    ranked = sorted(
+        attribution.items(),
+        key=lambda item: -item[1].get("modelled_s", 0.0),
+    )[:top_k]
+    if not ranked:
+        return '<span class="meta">(no spans recorded)</span>'
+    rows = "".join(
+        f"<tr><td>{_esc(name)}</td><td>{entry.get('count', 0)}</td>"
+        f"<td>{entry.get('modelled_s', 0.0) * 1e3:,.3f}</td>"
+        f"<td>{entry.get('wall_s', 0.0) * 1e3:,.3f}</td></tr>"
+        for name, entry in ranked
+    )
+    return (
+        "<table><tr><th>span</th><th>count</th>"
+        "<th>modelled ms</th><th>wall ms</th></tr>"
+        f"{rows}</table>"
+    )
+
+
+def _identity_line(doc: dict) -> str:
+    return (
+        f"run <code>{_esc(str(doc.get('run_id', '?'))[:12])}</code> · "
+        f"{_esc(doc.get('created_at', '?'))} · "
+        f"git <code>{_esc(str(doc.get('git_sha'))[:12])}</code>"
+    )
+
+
+def render_dashboard(
+    history,
+    baseline: dict | None = None,
+    skip_wall: bool = False,
+    title: str = "repro perf dashboard",
+) -> str:
+    """The dashboard HTML for a run history (oldest first).
+
+    The newest history entry is "the current run"; when a baseline is
+    given, verdict badges come from the same policies as
+    ``repro perf check`` (:func:`repro.obs.perf.check_runs`).
+    """
+    history = list(history)
+    if not history and baseline is not None:
+        history = [baseline]
+    current = history[-1] if history else None
+
+    verdict_by_exp: dict = {}
+    verdicts = []
+    if baseline is not None and current is not None:
+        verdicts = _perf.check_runs(baseline, current, skip_wall=skip_wall)
+        verdict_by_exp = {v.experiment: v for v in verdicts}
+
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    if current is None:
+        parts.append(
+            "<p class='meta'>No recorded runs yet — run "
+            "<code>repro perf record</code>.</p></body></html>"
+        )
+        return "".join(parts)
+
+    parts.append(
+        f"<p class='meta'>{len(history)} recorded run(s); latest: "
+        f"{_identity_line(current)}"
+        + (
+            f"<br>baseline: {_identity_line(baseline)}"
+            if baseline is not None
+            else ""
+        )
+        + "</p>"
+    )
+    if verdicts:
+        counts: dict = {}
+        for v in verdicts:
+            counts[v.verdict] = counts.get(v.verdict, 0) + 1
+        parts.append(
+            "<p>"
+            + " ".join(
+                f"{_badge(k)} {n}" for k, n in sorted(counts.items())
+            )
+            + (
+                " — <strong>gate fails</strong>"
+                if _perf.exit_code(verdicts)
+                else " — gate passes"
+            )
+            + "</p>"
+        )
+
+    for eid, exp in current["experiments"].items():
+        verdict = verdict_by_exp.get(eid)
+        walls = [
+            doc["experiments"][eid]["wall"]["median_s"]
+            if eid in doc.get("experiments", {})
+            else None
+            for doc in history
+        ]
+        parts.append("<div class='card'>")
+        parts.append(
+            f"<h2>{_esc(eid)} "
+            + (_badge(verdict.verdict) if verdict else "")
+            + _sparkline(walls)
+            + "</h2>"
+        )
+        wall = exp["wall"]
+        parts.append(
+            f"<p class='meta'>wall median {wall['median_s'] * 1e3:.2f} ms "
+            f"(spread {wall['spread'] * 100:.0f}% over "
+            f"{wall['repeats']} repeats)"
+            + (
+                f" · current/baseline x{verdict.wall_ratio:.2f}"
+                if verdict and verdict.wall_ratio is not None
+                else ""
+            )
+            + "</p>"
+        )
+        if verdict and verdict.notes:
+            parts.append(
+                "<ul>"
+                + "".join(f"<li>{_esc(note)}</li>" for note in verdict.notes)
+                + "</ul>"
+            )
+        parts.append(_series_table(exp["modelled"]))
+        parts.append(
+            "<details><summary>attribution (top spans by modelled "
+            "time)</summary>"
+            + _attribution_table(exp.get("attribution", {}))
+            + "</details>"
+        )
+        parts.append("</div>")
+
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_dashboard(path, history, baseline=None, **kwargs) -> None:
+    """Render and write the dashboard HTML file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_dashboard(history, baseline, **kwargs))

@@ -1,0 +1,361 @@
+"""Regression policies and attribution diffs over recorded perf runs.
+
+Two deliberately different comparison policies, one per clock domain:
+
+* **Modelled time is exact.** The cost model is deterministic — the
+  same tree must reproduce every modelled series total bit-for-bit.
+  Any difference means the *model itself* changed (a kernel cost
+  constant, a work-distribution rule, a backend price) and is reported
+  as ``MODEL-DRIFT``: never auto-accepted, always re-baselined
+  deliberately (``repro perf check --update``). Launch counts,
+  limb-op tallies, and the host<->DPU transfer split are held to the
+  same exact standard — they are model outputs too.
+* **Wall time is noisy.** The Python process's wall cost moves with
+  the machine, so the policy compares the current median against the
+  baseline median with a threshold scaled by the *baseline's own
+  dispersion*: ``threshold = max(min_rel, spread_factor * spread)``.
+  Outside the band: ``REGRESSION`` (slower) or ``faster``; inside:
+  ``ok``.
+
+Verdict severity: ``MODEL-DRIFT`` > ``REGRESSION`` > ``new`` >
+``faster`` > ``ok``. :func:`exit_code` is non-zero iff any experiment
+drifted or regressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "FAST_SET",
+    "VERDICT_OK",
+    "VERDICT_FASTER",
+    "VERDICT_REGRESSION",
+    "VERDICT_DRIFT",
+    "VERDICT_NEW",
+    "ExperimentVerdict",
+    "classify_wall",
+    "modelled_drift",
+    "check_runs",
+    "exit_code",
+    "render_check",
+    "diff_runs",
+    "render_diff",
+]
+
+#: Experiments cheap enough for the committed baseline and the CI gate
+#: (everything that evaluates in well under a second; the cycle-level
+#: simulator validation and the heaviest sweeps are excluded).
+FAST_SET = (
+    "fig1a",
+    "fig1a_32bit",
+    "fig1a_64bit",
+    "fig1b",
+    "fig1b_32bit",
+    "fig1b_64bit",
+    "fig2a",
+    "fig2c",
+    "tab_security",
+    "obs_tasklets",
+    "abl_karatsuba",
+    "abl_ntt",
+    "abl_residency",
+    "ext_energy",
+    "ext_covariance",
+    "ext_end_to_end",
+)
+
+VERDICT_OK = "ok"
+VERDICT_FASTER = "faster"
+VERDICT_REGRESSION = "REGRESSION"
+VERDICT_DRIFT = "MODEL-DRIFT"
+VERDICT_NEW = "new"
+
+#: Wall-time policy defaults: the regression threshold is
+#: ``max(MIN_REL_THRESHOLD, SPREAD_FACTOR * baseline spread)``.
+MIN_REL_THRESHOLD = 0.25
+SPREAD_FACTOR = 3.0
+
+
+@dataclass(frozen=True)
+class ExperimentVerdict:
+    """One experiment's comparison outcome."""
+
+    experiment: str
+    verdict: str
+    wall_ratio: float | None = None
+    notes: tuple = field(default_factory=tuple)
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict in (VERDICT_REGRESSION, VERDICT_DRIFT)
+
+    def describe(self) -> str:
+        ratio = (
+            f"wall x{self.wall_ratio:.2f}"
+            if self.wall_ratio is not None
+            else "wall skipped"
+        )
+        line = f"[{self.verdict:>11}] {self.experiment}  ({ratio})"
+        for note in self.notes:
+            line += f"\n              - {note}"
+        return line
+
+
+# -- policies ---------------------------------------------------------------
+
+
+def classify_wall(
+    baseline_wall: dict,
+    current_wall: dict,
+    min_rel: float = MIN_REL_THRESHOLD,
+    spread_factor: float = SPREAD_FACTOR,
+) -> tuple:
+    """(verdict, ratio) for the noisy wall-clock domain.
+
+    The threshold adapts to how noisy the baseline itself was: an
+    experiment whose recorded repeats spread 20% gets a wider band
+    than one that was stable to 1%.
+    """
+    base = baseline_wall["median_s"]
+    cur = current_wall["median_s"]
+    if base <= 0:
+        return VERDICT_OK, None
+    ratio = cur / base
+    threshold = max(min_rel, spread_factor * baseline_wall.get("spread", 0.0))
+    if ratio > 1.0 + threshold:
+        return VERDICT_REGRESSION, ratio
+    if ratio < 1.0 / (1.0 + threshold):
+        return VERDICT_FASTER, ratio
+    return VERDICT_OK, ratio
+
+
+def _exact_diffs(label: str, base: dict, cur: dict) -> list:
+    """Human-readable differences between two exact-valued mappings."""
+    notes = []
+    for key in sorted(set(base) | set(cur)):
+        b, c = base.get(key), cur.get(key)
+        if b != c:
+            notes.append(f"{label} {key}: baseline {b!r} -> current {c!r}")
+    return notes
+
+
+def modelled_drift(baseline_exp: dict, current_exp: dict) -> list:
+    """Every exact-domain difference for one experiment (empty = none).
+
+    Covers the modelled series totals, row count, kernel-launch and
+    limb-op counters, and the transfer split — the full deterministic
+    surface of the cost model.
+    """
+    notes = []
+    base_mod, cur_mod = baseline_exp["modelled"], current_exp["modelled"]
+    notes += _exact_diffs(
+        "series", base_mod["series_totals"], cur_mod["series_totals"]
+    )
+    if base_mod["n_rows"] != cur_mod["n_rows"]:
+        notes.append(
+            f"n_rows: baseline {base_mod['n_rows']} -> "
+            f"current {cur_mod['n_rows']}"
+        )
+    base_c, cur_c = baseline_exp["counters"], current_exp["counters"]
+    for scalar in ("kernel_launches", "compute_bound", "dma_bound"):
+        if base_c.get(scalar) != cur_c.get(scalar):
+            notes.append(
+                f"counter {scalar}: baseline {base_c.get(scalar)} -> "
+                f"current {cur_c.get(scalar)}"
+            )
+    notes += _exact_diffs(
+        "kernel launches", base_c.get("kernels", {}), cur_c.get("kernels", {})
+    )
+    notes += _exact_diffs(
+        "limb_ops", base_c.get("limb_ops", {}), cur_c.get("limb_ops", {})
+    )
+    notes += _exact_diffs(
+        "transfer", baseline_exp["transfer"], current_exp["transfer"]
+    )
+    return notes
+
+
+def check_runs(
+    baseline: dict, current: dict, skip_wall: bool = False
+) -> list:
+    """Compare a current run against a baseline, one verdict each.
+
+    Experiments present only in the current run are ``new`` (recorded
+    but uncomparable — re-baseline to adopt them); baseline experiments
+    absent from the current run are simply not checked (the caller
+    chose a subset).
+    """
+    verdicts = []
+    for eid, cur_exp in current["experiments"].items():
+        base_exp = baseline["experiments"].get(eid)
+        if base_exp is None:
+            verdicts.append(
+                ExperimentVerdict(
+                    eid,
+                    VERDICT_NEW,
+                    notes=("not in baseline; adopt with --update",),
+                )
+            )
+            continue
+        drift = modelled_drift(base_exp, cur_exp)
+        if drift:
+            verdicts.append(
+                ExperimentVerdict(eid, VERDICT_DRIFT, notes=tuple(drift))
+            )
+            continue
+        if skip_wall:
+            verdicts.append(ExperimentVerdict(eid, VERDICT_OK))
+            continue
+        verdict, ratio = classify_wall(base_exp["wall"], cur_exp["wall"])
+        verdicts.append(ExperimentVerdict(eid, verdict, wall_ratio=ratio))
+    return verdicts
+
+
+def exit_code(verdicts) -> int:
+    """0 when nothing drifted or regressed, 1 otherwise."""
+    return 1 if any(v.failed for v in verdicts) else 0
+
+
+def render_check(verdicts, baseline: dict, current: dict) -> str:
+    """The check report as aligned text with a summary footer."""
+    lines = [
+        "perf check — current run vs baseline",
+        f"  baseline: run {baseline.get('run_id', '?')[:12]} "
+        f"({baseline.get('created_at', '?')}, "
+        f"git {str(baseline.get('git_sha'))[:12]})",
+        f"  current:  run {current.get('run_id', '?')[:12]} "
+        f"({current.get('created_at', '?')}, "
+        f"git {str(current.get('git_sha'))[:12]})",
+        "",
+    ]
+    lines.extend(v.describe() for v in verdicts)
+    counts: dict = {}
+    for v in verdicts:
+        counts[v.verdict] = counts.get(v.verdict, 0) + 1
+    order = (
+        VERDICT_OK,
+        VERDICT_FASTER,
+        VERDICT_NEW,
+        VERDICT_REGRESSION,
+        VERDICT_DRIFT,
+    )
+    lines.append("")
+    lines.append(
+        "summary: "
+        + ", ".join(f"{counts.get(k, 0)} {k}" for k in order)
+        + f" of {len(verdicts)} experiments"
+    )
+    if any(v.verdict == VERDICT_DRIFT for v in verdicts):
+        lines.append(
+            "modelled times are deterministic; drift means the cost "
+            "model changed — re-baseline deliberately with "
+            "'repro perf check --update'"
+        )
+    return "\n".join(lines)
+
+
+# -- attribution diff -------------------------------------------------------
+
+
+def diff_runs(run_a: dict, run_b: dict, top_k: int = 10) -> dict:
+    """Which spans account for the delta between two recorded runs.
+
+    For every experiment present in both runs, the per-span-name
+    attribution tables are joined and the rows sorted by absolute
+    modelled-seconds delta (wall delta as tiebreak); the top-k rows
+    are returned per experiment as
+    ``(name, modelled_a, modelled_b, wall_a, wall_b)`` tuples.
+    """
+    if top_k < 1:
+        raise ParameterError(f"top_k must be >= 1: {top_k}")
+    diffs: dict = {}
+    shared = [
+        eid
+        for eid in run_a["experiments"]
+        if eid in run_b["experiments"]
+    ]
+    for eid in shared:
+        attr_a = run_a["experiments"][eid].get("attribution", {})
+        attr_b = run_b["experiments"][eid].get("attribution", {})
+        rows = []
+        for name in sorted(set(attr_a) | set(attr_b)):
+            a = attr_a.get(name, {})
+            b = attr_b.get(name, {})
+            rows.append(
+                (
+                    name,
+                    a.get("modelled_s", 0.0),
+                    b.get("modelled_s", 0.0),
+                    a.get("wall_s", 0.0),
+                    b.get("wall_s", 0.0),
+                )
+            )
+        rows.sort(key=lambda r: (-abs(r[2] - r[1]), -abs(r[4] - r[3]), r[0]))
+        diffs[eid] = rows[:top_k]
+    return diffs
+
+
+def _fmt_delta(a: float, b: float) -> str:
+    delta = b - a
+    sign = "+" if delta >= 0 else ""
+    return f"{sign}{delta * 1e3:.3f}"
+
+
+def render_diff(run_a: dict, run_b: dict, top_k: int = 10) -> str:
+    """The attribution diff as aligned text tables (ms columns)."""
+    diffs = diff_runs(run_a, run_b, top_k=top_k)
+    header = (
+        f"perf diff — A: run {run_a.get('run_id', '?')[:12]} "
+        f"({run_a.get('created_at', '?')})  ->  "
+        f"B: run {run_b.get('run_id', '?')[:12]} "
+        f"({run_b.get('created_at', '?')})"
+    )
+    lines = [header]
+    if not diffs:
+        lines.append("(no experiments in common)")
+        return "\n".join(lines)
+    for eid, rows in diffs.items():
+        lines.append("")
+        lines.append(f"== {eid} ==")
+        if not rows:
+            lines.append("(no span attribution recorded)")
+            continue
+        table = [
+            (
+                "span",
+                "modelled A ms",
+                "modelled B ms",
+                "Δ modelled",
+                "wall A ms",
+                "wall B ms",
+                "Δ wall",
+            )
+        ]
+        for name, mod_a, mod_b, wall_a, wall_b in rows:
+            table.append(
+                (
+                    name,
+                    f"{mod_a * 1e3:.3f}",
+                    f"{mod_b * 1e3:.3f}",
+                    _fmt_delta(mod_a, mod_b),
+                    f"{wall_a * 1e3:.3f}",
+                    f"{wall_b * 1e3:.3f}",
+                    _fmt_delta(wall_a, wall_b),
+                )
+            )
+        widths = [
+            max(len(row[i]) for row in table) for i in range(len(table[0]))
+        ]
+        for i, row in enumerate(table):
+            lines.append(
+                "  ".join(
+                    cell.ljust(w) if j == 0 else cell.rjust(w)
+                    for j, (cell, w) in enumerate(zip(row, widths))
+                )
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

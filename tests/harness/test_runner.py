@@ -65,6 +65,19 @@ class TestKeepGoing:
         assert list(results) == ["fig1a"]
         assert results["fig1a"] == run_experiment("fig1a")
 
+    def test_failure_records_carry_type_and_message(self, broken_experiment):
+        results = run_all(["broken", "fig1a"], keep_going=True)
+        assert results.failure_records() == [
+            {
+                "experiment": "broken",
+                "error_type": "ValueError",
+                "message": "synthetic failure",
+            }
+        ]
+
+    def test_failure_records_empty_without_failures(self):
+        assert run_all(["fig1a"]).failure_records() == []
+
 
 class TestKeepGoingCLI:
     def test_cli_flag_reports_failure_and_exits_nonzero(
@@ -74,7 +87,9 @@ class TestKeepGoingCLI:
         captured = capsys.readouterr()
         assert status == 1
         assert "experiment 'broken' FAILED" in captured.err
-        assert "ValueError" in captured.err
+        # Both the exception type and its message are reported.
+        assert "ValueError: synthetic failure" in captured.err
+        assert "1 of 2 experiments failed" in captured.err
         assert "fig1a" in captured.out  # the good experiment still printed
 
     def test_cli_without_flag_raises(self, broken_experiment):

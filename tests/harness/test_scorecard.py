@@ -33,6 +33,61 @@ class TestClassification:
         assert _classify(claim(2, 4), 2.0, 4.0) == "in-band"
 
 
+class TestClassificationBoundaries:
+    """Edges of the verdict lattice: FAIL / partial / direction borders."""
+
+    def test_ratio_exactly_one_is_fail(self):
+        # "No faster at all" is a wrong-winner claim, not a tie.
+        assert _classify(claim(2, 4), 1.0, 3.0) == "FAIL"
+
+    def test_ratio_just_above_one_is_not_fail(self):
+        assert _classify(claim(2, 4), 1.0 + 1e-9, 3.0) == "partial"
+
+    def test_fail_dominates_even_when_hi_is_in_band(self):
+        assert _classify(claim(2, 4), 0.5, 4.0) == "FAIL"
+
+    def test_hi_touching_paper_lo_is_partial(self):
+        # Overlap boundary: measured hi == paper lo counts as overlap.
+        assert _classify(claim(2, 4), 1.5, 2.0) == "partial"
+
+    def test_hi_just_below_paper_lo_is_direction(self):
+        assert _classify(claim(2, 4), 1.5, 2.0 - 1e-9) == "direction"
+
+    def test_lo_touching_paper_hi_is_partial(self):
+        assert _classify(claim(2, 4), 4.0, 6.0) == "partial"
+
+    def test_lo_just_above_paper_hi_is_direction(self):
+        assert _classify(claim(2, 4), 4.0 + 1e-9, 6.0) == "direction"
+
+    def test_degenerate_point_band(self):
+        assert _classify(claim(3, 3), 3.0, 3.0) == "in-band"
+        assert _classify(claim(3, 3), 2.9, 3.1) == "partial"
+
+    def test_wider_than_band_is_partial_not_in_band(self):
+        # Measured range containing the whole paper band overlaps it.
+        assert _classify(claim(2, 4), 1.5, 6.0) == "partial"
+
+
+class TestWrongWinnerThroughScorecard:
+    def test_inverted_claim_yields_fail(self):
+        """A claim naming the wrong winner must come back FAIL."""
+        # fig1a's real winner is pim; claim the opposite direction.
+        inverted = PaperClaim(
+            "fig1a", "cpu", "pim", 2.0, 4.0, 2.0, 4.0, "synthetic"
+        )
+        (verdict,) = build_scorecard([inverted])
+        assert verdict.verdict == "FAIL"
+        assert verdict.measured_hi < 1.0
+
+    def test_fail_renders_in_scorecard_text(self):
+        inverted = PaperClaim(
+            "fig1a", "cpu", "pim", 2.0, 4.0, 2.0, 4.0, "synthetic"
+        )
+        text = render_scorecard(build_scorecard([inverted]))
+        assert "1 FAIL" in text
+        assert "[     FAIL]" in text
+
+
 class TestFullScorecard:
     @pytest.fixture(scope="class")
     def verdicts(self):

@@ -1,0 +1,149 @@
+"""HTML dashboard: self-contained output, badges, sparklines, escaping."""
+
+import pytest
+
+from repro.harness.cli import main
+from repro.obs import baseline as bl
+from repro.obs import htmlreport
+
+
+def make_exp(wall_median=0.01, pim_total=1.25, **overrides):
+    doc = {
+        "modelled": {
+            "series_totals": {"pim": pim_total, "gpu": 2.5},
+            "n_rows": 3,
+            "unit": "ms",
+        },
+        "wall": {
+            "repeats": 3,
+            "median_s": wall_median,
+            "min_s": wall_median,
+            "max_s": wall_median,
+            "mean_s": wall_median,
+            "spread": 0.05,
+        },
+        "counters": {
+            "kernel_launches": 4,
+            "compute_bound": 1,
+            "dma_bound": 3,
+            "kernels": {},
+            "backend_requests": {},
+            "limb_ops": {},
+        },
+        "transfer": {"host_to_dpu_s": 0.0, "dpu_to_host_s": 0.0},
+        "attribution": {
+            "backend.pim.vec_add": {
+                "count": 2,
+                "wall_s": 0.001,
+                "modelled_s": 0.5,
+            }
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+def make_run(experiments: dict) -> dict:
+    doc = {"schema": bl.SCHEMA_VERSION, "repeats": 3}
+    doc.update(bl.run_identity())
+    doc["experiments"] = experiments
+    return doc
+
+
+@pytest.fixture()
+def history():
+    return [
+        make_run({"fig1a": make_exp(wall_median=0.010)}),
+        make_run({"fig1a": make_exp(wall_median=0.012)}),
+    ]
+
+
+class TestRenderDashboard:
+    def test_self_contained_html(self, history):
+        html = htmlreport.render_dashboard(history, baseline=history[0])
+        assert html.startswith("<!doctype html>")
+        assert html.endswith("</body></html>")
+        assert "<style>" in html
+        assert "http" not in html.split("Perfetto")[0]  # no external refs
+
+    def test_sparkline_badge_and_tables(self, history):
+        html = htmlreport.render_dashboard(history, baseline=history[0])
+        assert "<svg" in html and "polyline" in html
+        assert "badge" in html
+        assert ">ok<" in html  # verdict badge for the unchanged run
+        assert "gate passes" in html
+        assert "fig1a" in html
+        assert "backend.pim.vec_add" in html  # attribution table
+
+    def test_drift_shows_failing_gate_and_notes(self, history):
+        drifted = make_run({"fig1a": make_exp(pim_total=9.99)})
+        html = htmlreport.render_dashboard(
+            history + [drifted], baseline=history[0]
+        )
+        assert "MODEL-DRIFT" in html
+        assert "gate fails" in html
+        assert "9.99" in html
+
+    def test_single_run_needs_no_baseline(self, history):
+        html = htmlreport.render_dashboard([history[0]])
+        assert "fig1a" in html
+        assert "need ≥2 runs" in html  # no trend from one point
+
+    def test_empty_history_renders_a_hint(self):
+        html = htmlreport.render_dashboard([])
+        assert "repro perf record" in html
+
+    def test_experiment_names_escaped(self):
+        run = make_run({"<script>alert(1)</script>": make_exp()})
+        html = htmlreport.render_dashboard([run])
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+
+class TestWriteAndCLI:
+    def test_write_dashboard_creates_parents(self, history, tmp_path):
+        out = tmp_path / "sub" / "dash.html"
+        htmlreport.write_dashboard(out, history, baseline=history[0])
+        assert out.read_text().startswith("<!doctype html>")
+
+    def test_cli_html_from_history(self, history, tmp_path, capsys):
+        history_path = tmp_path / "history.jsonl"
+        for doc in history:
+            bl.append_history(doc, history_path)
+        baseline_path = tmp_path / "perf.json"
+        bl.write_run(history[0], baseline_path)
+        out = tmp_path / "dash.html"
+        status = main(
+            [
+                "perf",
+                "html",
+                "-o",
+                str(out),
+                "--history",
+                str(history_path),
+                "--baseline",
+                str(baseline_path),
+            ]
+        )
+        assert status == 0
+        assert "wrote" in capsys.readouterr().out
+        html = out.read_text()
+        assert "<svg" in html and "fig1a" in html
+
+    def test_cli_html_without_baseline_still_renders(
+        self, history, tmp_path, capsys
+    ):
+        history_path = tmp_path / "history.jsonl"
+        bl.append_history(history[0], history_path)
+        status = main(
+            [
+                "perf",
+                "html",
+                "--history",
+                str(history_path),
+                "--baseline",
+                str(tmp_path / "absent.json"),
+            ]
+        )
+        assert status == 0
+        assert "fig1a" in capsys.readouterr().out
