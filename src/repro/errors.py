@@ -60,3 +60,14 @@ class CapacityError(DeviceError):
 
 class ExperimentError(ReproError):
     """An experiment specification is unknown or malformed."""
+
+
+class ModelValidationError(ReproError):
+    """The analytic cost model disagrees with the cycle-level simulation.
+
+    Raised by the pipeline profiler (:mod:`repro.obs.profile`) when a
+    simulated kernel's cycle total falls outside the tolerance band
+    around ``max(pipeline bound, DMA bound)``. The closed forms are the
+    numbers every experiment reports, so a disagreement is never
+    noise to ignore — it means one of the two models has a bug.
+    """

@@ -11,9 +11,17 @@ Subcommands:
   — run experiments with tracing enabled and export the spans;
 * ``perf record|check|diff|html`` — performance baselines, the
   regression gate (exact modelled times, noise-aware wall times), the
-  attribution diff between recorded runs, and the HTML dashboard.
+  attribution diff between recorded runs, and the HTML dashboard;
+* ``profile <experiment|kernel-spec>`` — the pipeline profiler:
+  tasklet occupancy, DMA contention, and a bottleneck verdict per
+  kernel, with optional Chrome-trace and HTML exports.
 
 Installed as both ``repro-experiments`` and the shorter ``repro``.
+
+Exit codes: 0 success, 1 failure (a failed experiment, a tripped perf
+gate), :data:`EXIT_DATA` (2) when required recorded data — a baseline,
+the run history — is missing or empty, so scripts can tell "nothing
+recorded yet" from "something regressed".
 
 Setting ``REPRO_TRACE`` (see :func:`repro.obs.configure_from_env`)
 enables tracing for *any* subcommand and flushes at process exit.
@@ -28,6 +36,10 @@ from repro.backends import get_backend
 from repro.backends.registry import BACKEND_ORDER
 from repro.harness.experiments import EXPERIMENTS, get_experiment
 from repro.harness.report import format_experiment, render_markdown_report
+
+#: Exit status for "the recorded data this command needs does not
+#: exist (yet)" — distinct from 1, which means a real failure.
+EXIT_DATA = 2
 
 
 def _cmd_list(_args) -> int:
@@ -144,13 +156,30 @@ def _cmd_perf_check(args) -> int:
     return perf.exit_code(verdicts)
 
 
+def _no_data(message: str) -> int:
+    """Report missing recorded data; :data:`EXIT_DATA`, never a trace."""
+    print(
+        f"{message}\nrecord a run first: repro perf record",
+        file=sys.stderr,
+    )
+    return EXIT_DATA
+
+
 def _cmd_perf_diff(args) -> int:
     """Attribution diff between two recorded runs."""
+    from repro.errors import ParameterError
     from repro.obs import baseline as bl
     from repro.obs import perf
 
-    run_a = bl.find_run(args.run_a, args.history)
-    run_b = bl.find_run(args.run_b, args.history)
+    if not bl.read_history(args.history):
+        return _no_data(
+            f"no run history at {args.history} (missing or empty)"
+        )
+    try:
+        run_a = bl.find_run(args.run_a, args.history)
+        run_b = bl.find_run(args.run_b, args.history)
+    except ParameterError as exc:
+        return _no_data(str(exc))
     print(perf.render_diff(run_a, run_b, top_k=args.top))
     return 0
 
@@ -168,6 +197,11 @@ def _cmd_perf_html(args) -> int:
         if os.path.exists(args.baseline)
         else None
     )
+    if not history and baseline is None:
+        return _no_data(
+            f"no run history at {args.history} and no baseline at "
+            f"{args.baseline} — nothing to render"
+        )
     document = htmlreport.render_dashboard(
         history, baseline, skip_wall=args.skip_wall
     )
@@ -177,6 +211,80 @@ def _cmd_perf_html(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(document)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Profile the pipeline: occupancy, DMA contention, verdicts.
+
+    The target is an experiment id (the experiment runs under a
+    recording tracer and every distinct kernel launch is re-simulated)
+    or a kernel spec like ``vec_mul:128`` (one DPU is simulated
+    directly at ``--elements`` / ``--tasklets``).
+    """
+    from repro.obs import export, htmlreport
+    from repro.obs import profile as prof
+    from repro.pim.config import UPMEMConfig
+
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else prof.DEFAULT_TOLERANCE
+    )
+    spans = []
+    if args.target in EXPERIMENTS:
+        spans, profiles = prof.profile_experiment(
+            args.target,
+            tolerance=tolerance,
+            max_elements=args.max_elements,
+        )
+        header = f"pipeline profile — experiment {args.target}"
+    else:
+        kernel = prof.kernel_from_spec(args.target)
+        profiles = [
+            prof.profile_kernel(
+                kernel,
+                n_elements=args.elements,
+                tasklets=args.tasklets,
+                tolerance=tolerance,
+            )
+        ]
+        header = f"pipeline profile — kernel {args.target}"
+
+    print(prof.render_profiles_text(profiles, header=header))
+    if args.chrome:
+        documents = []
+        if spans:
+            documents.append(export.to_chrome_trace(spans))
+        # Band up issue segments: saturated interleaves otherwise emit
+        # one event per instruction (hundreds of MB for compute-bound
+        # experiments). A gap just above max_tasklets merges round-robin
+        # turns while keeping DMA blocks visible as breaks.
+        gap = 2 * UPMEMConfig().max_tasklets
+        documents.extend(
+            p.trace.to_chrome_trace(
+                process_name=f"DPU sim: {p.label}", coalesce_gap=gap
+            )
+            for p in profiles
+        )
+        if documents:
+            import json
+
+            with open(args.chrome, "w") as handle:
+                json.dump(export.merge_chrome_traces(documents), handle)
+            print(f"wrote Chrome trace to {args.chrome}", file=sys.stderr)
+        else:
+            print(
+                f"nothing to export to {args.chrome}: no spans and no "
+                "kernel launches",
+                file=sys.stderr,
+            )
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(
+                htmlreport.render_profile_report(profiles, title=header)
+            )
+        print(f"wrote HTML report to {args.html}", file=sys.stderr)
     return 0
 
 
@@ -446,6 +554,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _perf_common(html_parser)
     html_parser.set_defaults(func=_cmd_perf_html)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile the pipeline: tasklet occupancy, DMA contention, "
+        "bottleneck verdicts",
+        description=(
+            "Re-simulate kernel launches cycle by cycle and report "
+            "per-tasklet occupancy (with every stall cycle attributed), "
+            "DMA-engine contention, load balance, and a bottleneck "
+            "verdict cross-checked against the analytic cost model. "
+            "The target is an experiment id (run 'repro list') or a "
+            "kernel spec such as vec_mul:128."
+        ),
+    )
+    profile_parser.add_argument(
+        "target", help="experiment id, or kernel spec like vec_mul:128"
+    )
+    profile_parser.add_argument(
+        "--elements",
+        type=int,
+        default=256,
+        help="elements per DPU for kernel specs (default: 256)",
+    )
+    profile_parser.add_argument(
+        "--tasklets",
+        type=int,
+        default=16,
+        help="tasklets per DPU for kernel specs (default: 16)",
+    )
+    profile_parser.add_argument(
+        "--max-elements",
+        type=int,
+        default=256,
+        help="cap on simulated elements/DPU when profiling an "
+        "experiment (default: 256)",
+    )
+    profile_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="sim-vs-analytic disagreement tolerance (fraction; "
+        "default: the profiler's)",
+    )
+    profile_parser.add_argument(
+        "--chrome",
+        metavar="FILE",
+        help="write a merged Perfetto trace (host spans + one process "
+        "per simulated kernel) to FILE",
+    )
+    profile_parser.add_argument(
+        "--html",
+        metavar="FILE",
+        help="write the occupancy/stall HTML report to FILE",
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
 
     sub.add_parser(
         "platforms", help="describe the modelled platforms"

@@ -30,14 +30,17 @@ class BatchResults(dict):
         """Collected failures as structured, JSON-able records.
 
         Each record names the experiment *and* what went wrong —
-        ``{"experiment", "error_type", "message"}`` — so batch
-        reporting never reduces a failure to just its id.
+        ``{"experiment", "error_type", "message", "header"}`` — so
+        batch reporting never reduces a failure to just its id.
+        ``header`` is the one-line form every reporting surface leads
+        with, the experiment id first.
         """
         return [
             {
                 "experiment": eid,
                 "error_type": type(exc).__name__,
                 "message": str(exc),
+                "header": f"{eid}: {type(exc).__name__}: {exc}",
             }
             for eid, exc in self.failures.items()
         ]
@@ -63,6 +66,23 @@ def run_experiment(experiment_id: str) -> list:
     registry.counter("experiments.runs").inc()
     registry.counter(f"experiments.{experiment_id}.runs").inc()
     return rows
+
+
+def trace_experiment(experiment_id: str) -> tuple:
+    """Run one experiment under a recording tracer: ``(rows, spans)``.
+
+    A local :class:`~repro.obs.trace.Tracer` is installed for the
+    duration of the run (restoring whatever was active before), so the
+    returned spans cover exactly this experiment — the raw material for
+    :func:`repro.obs.profile.profile_experiment` and for merging host
+    timelines with simulated device lanes.
+    """
+    from repro.obs.trace import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        rows = run_experiment(experiment_id)
+    return rows, tracer.finished
 
 
 def run_all(ids=None, keep_going: bool = False) -> BatchResults:

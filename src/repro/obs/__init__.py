@@ -30,6 +30,12 @@ schema-versioned performance runs, :mod:`repro.obs.perf` compares them
 (exact modelled times, noise-aware wall times) and diffs attribution,
 and :mod:`repro.obs.htmlreport` renders the run history as a
 self-contained HTML dashboard — all driven by ``repro perf``.
+
+PR 3 adds :mod:`repro.obs.profile`: the pipeline profiler behind
+``repro profile`` — per-tasklet occupancy, DMA contention, load
+balance, and bottleneck verdicts cross-checked against the analytic
+cost model (disagreement raises
+:class:`~repro.errors.ModelValidationError`).
 """
 
 from repro.obs.baseline import (
@@ -44,6 +50,7 @@ from repro.obs.baseline import (
     write_run,
 )
 from repro.obs.export import (
+    merge_chrome_traces,
     read_jsonl,
     render_time_tree,
     span_to_dict,
@@ -51,7 +58,11 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.htmlreport import render_dashboard, write_dashboard
+from repro.obs.htmlreport import (
+    render_dashboard,
+    render_profile_report,
+    write_dashboard,
+)
 from repro.obs.metrics import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -59,6 +70,19 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
     use_registry,
+)
+from repro.obs.profile import (
+    DMAEngineProfile,
+    KernelProfile,
+    LoadBalance,
+    TaskletOccupancy,
+    classify_bottleneck,
+    kernel_from_spec,
+    profile_experiment,
+    profile_kernel,
+    profile_programs,
+    render_profile_text,
+    render_profiles_text,
 )
 from repro.obs.perf import (
     ExperimentVerdict,
@@ -102,7 +126,21 @@ __all__ = [
     "read_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",
+    "merge_chrome_traces",
     "render_time_tree",
+    # pipeline profiler (repro profile)
+    "TaskletOccupancy",
+    "DMAEngineProfile",
+    "LoadBalance",
+    "KernelProfile",
+    "classify_bottleneck",
+    "profile_programs",
+    "profile_kernel",
+    "profile_experiment",
+    "kernel_from_spec",
+    "render_profile_text",
+    "render_profiles_text",
+    "render_profile_report",
     # baselines & regression (repro perf)
     "capture_experiment",
     "capture_run",

@@ -27,6 +27,7 @@ __all__ = [
     "read_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",
+    "merge_chrome_traces",
     "render_time_tree",
 ]
 
@@ -139,6 +140,28 @@ def write_chrome_trace(spans, path_or_file, **kwargs) -> None:
     else:
         with open(path_or_file, "w") as handle:
             json.dump(document, handle)
+
+
+def merge_chrome_traces(documents) -> dict:
+    """Several Chrome-trace documents as one multi-process document.
+
+    Each input keeps its own event list verbatim but is moved to a
+    distinct ``pid`` (input order, starting at 1), so the host span
+    timeline and any number of simulated-DPU timelines
+    (:meth:`repro.pim.sim.SimTrace.to_chrome_trace`) appear as separate
+    process groups in one Perfetto view. Time axes are **not**
+    reconciled — host processes show wall microseconds, simulated ones
+    modelled cycles; the grouping is what makes that legible.
+    """
+    documents = list(documents)
+    if not documents:
+        raise ParameterError("need at least one chrome trace to merge")
+    merged = []
+    for index, document in enumerate(documents):
+        validate_chrome_trace(document)
+        for event in document["traceEvents"]:
+            merged.append(dict(event, pid=index + 1))
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}
 
 
 # -- text attribution tree --------------------------------------------------

@@ -15,7 +15,7 @@ import pathlib
 
 from repro.obs import perf as _perf
 
-__all__ = ["render_dashboard", "write_dashboard"]
+__all__ = ["render_dashboard", "write_dashboard", "render_profile_report"]
 
 _BADGE_COLORS = {
     _perf.VERDICT_OK: "#2e7d32",
@@ -41,7 +41,22 @@ th { background: #f5f5f5; }
 .card { border: 1px solid #e0e0e0; border-radius: 6px;
         padding: .8em 1em; margin: .8em 0; }
 details > summary { cursor: pointer; color: #555; }
+.occbar { display: flex; height: 14px; width: 24em; border-radius: 3px;
+          overflow: hidden; background: #eceff1; }
+.occbar span { display: block; height: 100%; }
+.legend span.swatch { display: inline-block; width: .8em; height: .8em;
+                      border-radius: 2px; margin: 0 .3em 0 .9em;
+                      vertical-align: -1px; }
 """
+
+#: Stall-category colors, matching the occupancy legend.
+_OCC_COLORS = {
+    "issue": "#2e7d32",
+    "dma_blocked": "#1565c0",
+    "revolve_stall": "#f9a825",
+    "dispatch_wait": "#e65100",
+    "idle": "#b0bec5",
+}
 
 
 def _esc(value) -> str:
@@ -125,11 +140,138 @@ def _identity_line(doc: dict) -> str:
     )
 
 
+# -- pipeline profiles ------------------------------------------------------
+
+
+def _occupancy_bar(occ, total_cycles: int) -> str:
+    """One tasklet's cycle breakdown as a stacked horizontal bar."""
+    shares = (
+        ("issue", float(occ.instructions)),
+        ("dma_blocked", occ.dma_blocked_cycles),
+        ("revolve_stall", occ.revolve_stall_cycles),
+        ("dispatch_wait", occ.dispatch_wait_cycles),
+        ("idle", occ.idle_cycles),
+    )
+    total = total_cycles or 1
+    segments = "".join(
+        f'<span style="width:{value / total * 100:.2f}%;'
+        f'background:{_OCC_COLORS[name]}" title="{_esc(name)}: '
+        f"{value:,.0f} cycles ({value / total * 100:.1f}%)\"></span>"
+        for name, value in shares
+        if value > 0
+    )
+    return f'<div class="occbar">{segments}</div>'
+
+
+def _occupancy_legend() -> str:
+    labels = {
+        "issue": "issuing",
+        "dma_blocked": "DMA-blocked",
+        "revolve_stall": "revolve stall",
+        "dispatch_wait": "dispatch wait",
+        "idle": "idle",
+    }
+    return (
+        '<p class="meta legend">'
+        + "".join(
+            f'<span class="swatch" style="background:{color}"></span>'
+            f"{_esc(labels[name])}"
+            for name, color in _OCC_COLORS.items()
+        )
+        + "</p>"
+    )
+
+
+def _profile_section(profile) -> str:
+    """One :class:`~repro.obs.profile.KernelProfile` as a card."""
+    parts = ["<div class='card'>"]
+    parts.append(
+        f"<h2>{_esc(profile.label)} "
+        f'<span class="badge" style="background:#37474f">'
+        f"{_esc(profile.verdict)}</span></h2>"
+    )
+    subsample = (
+        f" (subsampled from {profile.full_elements} elements/DPU)"
+        if profile.subsampled
+        else ""
+    )
+    parts.append(
+        f"<p class='meta'>simulated {profile.simulated_cycles:,} cycles vs "
+        f"analytic max(compute={profile.analytic_compute_cycles:,.0f}, "
+        f"dma={profile.analytic_dma_cycles:,.0f}) — model error "
+        f"{profile.model_error * 100:+.2f}%{_esc(subsample)}<br>"
+        f"issue utilization {profile.issue_utilization * 100:.1f}% · "
+        f"DMA engine busy {profile.dma.busy_fraction * 100:.1f}% over "
+        f"{profile.dma.n_transfers} transfers (queue wait mean "
+        f"{profile.dma.mean_queue_wait:.1f} / max "
+        f"{profile.dma.max_queue_wait:.1f} cycles)</p>"
+    )
+    rows = "".join(
+        f"<tr><td>t{occ.tasklet}</td>"
+        f"<td>{occ.instructions:,}</td>"
+        f"<td>{occ.occupancy * 100:.1f}%</td>"
+        f"<td>{_occupancy_bar(occ, profile.simulated_cycles)}</td></tr>"
+        for occ in profile.occupancy
+    )
+    parts.append(
+        "<table><tr><th>tasklet</th><th>instr</th><th>occupancy</th>"
+        "<th style='text-align:left'>cycle breakdown</th></tr>"
+        f"{rows}</table>"
+    )
+    parts.append(_occupancy_legend())
+    if profile.load is not None:
+        load = profile.load
+        parts.append(
+            f"<p class='meta'>load balance: {load.dpus_engaged} DPUs over "
+            f"{load.ranks_engaged} ranks ({load.idle_dpus} idle); "
+            f"elements/DPU min {load.min_elements} / mean "
+            f"{load.mean_elements:.1f} / max {load.max_elements} "
+            f"(imbalance ×{load.imbalance:.2f})</p>"
+        )
+    if profile.dma.queue_waits:
+        histogram = " · ".join(
+            f"{_esc(label)}: {count}"
+            for label, count in profile.dma.wait_histogram()
+            if count
+        )
+        parts.append(
+            f"<p class='meta'>queue-wait histogram [cycles]: {histogram}</p>"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def render_profile_report(
+    profiles, title: str = "repro pipeline profile"
+) -> str:
+    """Standalone HTML report for pipeline profiles.
+
+    ``profiles`` are :class:`~repro.obs.profile.KernelProfile` objects;
+    each renders as a card with the bottleneck verdict, per-tasklet
+    occupancy bars with the full stall breakdown, and DMA contention
+    stats — the HTML face of ``repro profile``.
+    """
+    profiles = list(profiles)
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    if not profiles:
+        parts.append(
+            "<p class='meta'>No PIM kernel launches to profile.</p>"
+        )
+    parts.extend(_profile_section(p) for p in profiles)
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
 def render_dashboard(
     history,
     baseline: dict | None = None,
     skip_wall: bool = False,
     title: str = "repro perf dashboard",
+    profiles=None,
 ) -> str:
     """The dashboard HTML for a run history (oldest first).
 
@@ -156,8 +298,12 @@ def render_dashboard(
     if current is None:
         parts.append(
             "<p class='meta'>No recorded runs yet — run "
-            "<code>repro perf record</code>.</p></body></html>"
+            "<code>repro perf record</code>.</p>"
         )
+        if profiles:
+            parts.append("<h2>Pipeline profiles</h2>")
+            parts.extend(_profile_section(p) for p in profiles)
+        parts.append("</body></html>")
         return "".join(parts)
 
     parts.append(
@@ -229,6 +375,9 @@ def render_dashboard(
         )
         parts.append("</div>")
 
+    if profiles:
+        parts.append("<h2>Pipeline profiles</h2>")
+        parts.extend(_profile_section(p) for p in profiles)
     parts.append("</body></html>")
     return "".join(parts)
 

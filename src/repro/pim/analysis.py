@@ -27,6 +27,37 @@ OP_CLASSES = {
 }
 
 
+def classification_gaps() -> dict:
+    """Drift between the ISA cost table and the breakdown classes.
+
+    Returns ``{"unclassified": [...], "unknown": [...],
+    "duplicated": [...]}``:
+
+    * **unclassified** — ops priced in
+      :data:`~repro.pim.isa.DEFAULT_CYCLES_PER_OP` that no class in
+      :data:`OP_CLASSES` covers (their cycles would silently vanish
+      from every breakdown);
+    * **unknown** — ops a class references that the cost table does not
+      price (a typo, or a class outliving a renamed op);
+    * **duplicated** — ops claimed by more than one class (their cycles
+      would be double-counted).
+
+    All three empty is the invariant ``tests/pim/test_analysis.py``
+    guards; new ISA ops must be classified in the same change that
+    prices them.
+    """
+    claimed: list = []
+    for ops in OP_CLASSES.values():
+        claimed.extend(ops)
+    return {
+        "unclassified": sorted(set(DEFAULT_CYCLES_PER_OP) - set(claimed)),
+        "unknown": sorted(set(claimed) - set(DEFAULT_CYCLES_PER_OP)),
+        "duplicated": sorted(
+            op for op in set(claimed) if claimed.count(op) > 1
+        ),
+    }
+
+
 def kernel_op_tally(kernel: Kernel, sample_size: int = 96) -> dict:
     """Average per-element operation counts of a kernel (measured)."""
     if sample_size <= 0:

@@ -41,6 +41,11 @@ class UPMEMConfig:
     #: Hardware threads (tasklets) per DPU. UPMEM SDK [44]: up to 24.
     max_tasklets: int = 24
 
+    #: DPUs per memory rank (one PIM-enabled DIMM side). UPMEM SDK
+    #: [44]: 64; the paper's 2,524-DPU system spans ~40 ranks (a few
+    #: DPUs are disabled, hence not a round multiple).
+    dpus_per_rank: int = 64
+
     #: Pipeline revolving latency: a tasklet may issue at most one
     #: instruction every this many cycles, so this many tasklets are
     #: needed for full dispatch throughput. PrIM [39]: 11.
@@ -77,6 +82,10 @@ class UPMEMConfig:
             raise ParameterError(f"frequency must be positive: {self.frequency_hz}")
         if self.max_tasklets <= 0:
             raise ParameterError(f"max_tasklets must be positive: {self.max_tasklets}")
+        if self.dpus_per_rank <= 0:
+            raise ParameterError(
+                f"dpus_per_rank must be positive: {self.dpus_per_rank}"
+            )
         if self.pipeline_revolve_cycles <= 0:
             raise ParameterError(
                 f"pipeline_revolve_cycles must be positive: "

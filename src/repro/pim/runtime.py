@@ -50,6 +50,12 @@ class KernelTiming:
     launch_seconds: float
     host_to_dpu_seconds: float = 0.0
     dpu_to_host_seconds: float = 0.0
+    # Invocation shape, carried so a trace record alone is enough to
+    # re-simulate the kernel (repro.obs.profile does exactly that).
+    work_units: int = 0
+    elements_per_dpu: int = 0
+    mram_bytes_per_element: int = 0
+    output_bytes_per_element: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -108,6 +114,10 @@ class KernelTiming:
             "host_to_dpu_s": self.host_to_dpu_seconds,
             "dpu_to_host_s": self.dpu_to_host_seconds,
             "modelled_s": self.total_seconds,
+            "work_units": self.work_units,
+            "elements_per_dpu": self.elements_per_dpu,
+            "mram_bytes_per_element": self.mram_bytes_per_element,
+            "output_bytes_per_element": self.output_bytes_per_element,
         }
 
 
@@ -258,6 +268,12 @@ class PIMRuntime:
             launch_seconds=launch_seconds,
             host_to_dpu_seconds=host_in,
             dpu_to_host_seconds=out,
+            work_units=work_units,
+            elements_per_dpu=elements_per_dpu,
+            mram_bytes_per_element=kernel.mram_bytes_per_element(),
+            output_bytes_per_element=min(
+                _output_bytes(kernel), kernel.mram_bytes_per_element()
+            ),
         )
 
 

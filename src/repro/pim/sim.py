@@ -96,7 +96,10 @@ class SimTrace:
     """Optional per-cycle event trace of one simulated DPU run.
 
     Records every dispatcher issue (cycle, tasklet) and every DMA
-    transfer (tasklet, start, completion, bytes) as they happen.
+    transfer (tasklet, request, start, completion, bytes) as they
+    happen. ``request`` is when the tasklet reached its DMA phase and
+    enqueued the transfer; ``start`` is when the shared engine actually
+    began it, so ``start - request`` is the queue wait contention adds.
     Exportable two ways:
 
     * :meth:`events` — compacted dict records (consecutive issues by
@@ -107,18 +110,33 @@ class SimTrace:
       row. The time axis is **modelled cycles** (1 cycle rendered as
       1 µs), not wall time — this is the device's schedule, not the
       simulator's.
+
+    :meth:`tasklet_activity` classifies every tasklet's cycles into
+    issue / DMA-blocked / revolve-stall / dispatch-wait / idle — the
+    occupancy story :mod:`repro.obs.profile` builds on.
     """
 
     issues: list = field(default_factory=list)  # (cycle, tasklet)
-    dmas: list = field(default_factory=list)  # (tasklet, start, end, bytes)
+    dmas: list = field(
+        default_factory=list
+    )  # (tasklet, request, start, end, bytes)
 
     def record_issue(self, cycle: int, tasklet: int) -> None:
         self.issues.append((cycle, tasklet))
 
     def record_dma(
-        self, tasklet: int, start: float, end: float, n_bytes: int
+        self,
+        tasklet: int,
+        request: float,
+        start: float,
+        end: float,
+        n_bytes: int,
     ) -> None:
-        self.dmas.append((tasklet, start, end, n_bytes))
+        self.dmas.append((tasklet, request, start, end, n_bytes))
+
+    def queue_waits(self) -> list:
+        """Per-transfer engine queue waits, in cycles (issue order)."""
+        return [start - request for _, request, start, _, _ in self.dmas]
 
     def issue_segments(self) -> list:
         """Issue events compacted into (tasklet, first, last, count) runs.
@@ -156,58 +174,111 @@ class SimTrace:
             {
                 "kind": "dma",
                 "tasklet": tasklet,
+                "request_cycle": request,
                 "start_cycle": start,
                 "end_cycle": end,
+                "queue_wait_cycles": start - request,
                 "bytes": n_bytes,
             }
-            for tasklet, start, end, n_bytes in self.dmas
+            for tasklet, request, start, end, n_bytes in self.dmas
         )
         return records
 
-    def to_chrome_trace(self) -> dict:
-        """The run as a Chrome-trace document (cycles as microseconds)."""
+    def _coalesced_segments(self, coalesce_gap: float) -> list:
+        """Issue segments merged across gaps of ``coalesce_gap`` cycles.
+
+        In a saturated interleave every tasklet issues once per
+        round-robin turn, so raw segments are one instruction each —
+        per-instruction events at millions per run. Merging segments of
+        one tasklet whose separation is at most ``coalesce_gap`` turns
+        them into *activity bands* broken only by real pauses (DMA
+        blocks, long starvation), which is what a timeline should show.
+        """
+        merged: dict = {}
+        for tasklet, first, last, count in self.issue_segments():
+            runs = merged.setdefault(tasklet, [])
+            if runs and first - runs[-1][1] - 1 <= coalesce_gap:
+                prev_first, _prev_last, prev_count = runs[-1]
+                runs[-1] = (prev_first, last, prev_count + count)
+            else:
+                runs.append((first, last, count))
+        return [
+            (tasklet, first, last, count)
+            for tasklet, runs in merged.items()
+            for first, last, count in runs
+        ]
+
+    def to_chrome_trace(
+        self,
+        pid: int = 1,
+        process_name: str = "DPU (modelled cycles)",
+        coalesce_gap: float = 0.0,
+    ) -> dict:
+        """The run as a Chrome-trace document (cycles as microseconds).
+
+        ``pid`` / ``process_name`` place the lanes in their own process
+        group, so several simulated DPUs (or a host-span trace) can be
+        merged into one document with
+        :func:`repro.obs.export.merge_chrome_traces`.
+
+        ``coalesce_gap`` merges a tasklet's issue segments separated by
+        at most that many cycles into one band
+        (:meth:`_coalesced_segments`); 0 keeps exact per-issue events.
+        Saturated compute-bound runs need a gap of at least the tasklet
+        count to band up — the profiler's exporter uses one comfortably
+        above ``max_tasklets``.
+        """
         events = [
             {
                 "name": "process_name",
                 "ph": "M",
-                "pid": 1,
+                "pid": pid,
                 "tid": 0,
-                "args": {"name": "DPU (modelled cycles)"},
+                "args": {"name": process_name},
             },
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 1,
+                "pid": pid,
                 "tid": 0,
                 "args": {"name": "dma engine"},
             },
         ]
         seen_tasklets = set()
-        for tasklet, first, last, count in self.issue_segments():
+        segments = (
+            self._coalesced_segments(coalesce_gap)
+            if coalesce_gap > 0
+            else self.issue_segments()
+        )
+        for tasklet, first, last, count in segments:
             seen_tasklets.add(tasklet)
             events.append(
                 {
                     "name": "issue",
                     "cat": "pipeline",
                     "ph": "X",
-                    "pid": 1,
+                    "pid": pid,
                     "tid": tasklet + 1,
                     "ts": float(first),
                     "dur": float(last - first + 1),
                     "args": {"instructions": count},
                 }
             )
-        for tasklet, start, end, n_bytes in self.dmas:
+        for tasklet, request, start, end, n_bytes in self.dmas:
             events.append(
                 {
                     "name": f"dma t{tasklet}",
                     "cat": "dma",
                     "ph": "X",
-                    "pid": 1,
+                    "pid": pid,
                     "tid": 0,
                     "ts": float(start),
                     "dur": float(end - start),
-                    "args": {"tasklet": tasklet, "bytes": n_bytes},
+                    "args": {
+                        "tasklet": tasklet,
+                        "bytes": n_bytes,
+                        "queue_wait_cycles": start - request,
+                    },
                 }
             )
         for tasklet in sorted(seen_tasklets):
@@ -215,12 +286,91 @@ class SimTrace:
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": 1,
+                    "pid": pid,
                     "tid": tasklet + 1,
                     "args": {"name": f"tasklet {tasklet}"},
                 }
             )
         return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def tasklet_activity(
+        self, revolve_cycles: int, total_cycles: int
+    ) -> dict:
+        """Classify each tasklet's cycles from the recorded events.
+
+        Returns ``{tasklet: {"issue", "dma_blocked", "revolve_stall",
+        "dispatch_wait", "idle"}}`` partitioning ``[0, total_cycles)``:
+
+        * **issue** — dispatcher slots this tasklet won;
+        * **dma_blocked** — waiting on its own MRAM transfer, engine
+          queue wait included;
+        * **revolve_stall** — ineligible after its previous issue (at
+          most ``revolve_cycles - 1`` per inter-issue gap is charged
+          here);
+        * **dispatch_wait** — eligible, but another tasklet won the
+          slot (only possible with more tasklets than the revolve
+          depth);
+        * **idle** — before the program produced work or after it
+          finished.
+
+        Purely derived — calling this never changes the trace.
+        """
+        if revolve_cycles <= 0:
+            raise ParameterError(
+                f"revolve_cycles must be positive: {revolve_cycles}"
+            )
+        import bisect
+        from collections import defaultdict
+
+        issues_by_tasklet: dict = defaultdict(list)
+        for cycle, tasklet in self.issues:
+            issues_by_tasklet[tasklet].append(cycle)
+        blocks_by_tasklet: dict = defaultdict(list)
+        for tasklet, request, _start, end, _n in self.dmas:
+            blocks_by_tasklet[tasklet].append((request, end))
+
+        activity = {}
+        for tasklet in sorted(set(issues_by_tasklet) | set(blocks_by_tasklet)):
+            cycles = sorted(issues_by_tasklet[tasklet])
+            dma_blocked = sum(
+                end - request for request, end in blocks_by_tasklet[tasklet]
+            )
+            revolve_stall = dispatch_wait = idle = 0.0
+            if cycles:
+                # Attribute each DMA block to the inter-issue gap it
+                # occupies (a blocked tasklet cannot issue, so every
+                # block falls entirely inside one gap).
+                gap_dma: dict = defaultdict(float)
+                head_dma = tail_dma = 0.0
+                for request, end in blocks_by_tasklet[tasklet]:
+                    index = bisect.bisect_right(cycles, request)
+                    if index == 0:
+                        head_dma += end - request
+                    elif index == len(cycles):
+                        tail_dma += end - request
+                    else:
+                        gap_dma[index] += end - request
+                # Head: no prior issue, so no revolve constraint — any
+                # non-DMA wait is lost arbitration.
+                dispatch_wait += max(0.0, cycles[0] - head_dma)
+                for index in range(1, len(cycles)):
+                    gap = cycles[index] - cycles[index - 1] - 1
+                    non_dma = max(0.0, gap - gap_dma.get(index, 0.0))
+                    stalled = min(non_dma, float(revolve_cycles - 1))
+                    revolve_stall += stalled
+                    dispatch_wait += non_dma - stalled
+                tail = total_cycles - cycles[-1] - 1
+                idle = max(0.0, tail - tail_dma)
+            else:
+                idle = max(0.0, total_cycles - dma_blocked)
+            activity[tasklet] = {
+                "issue": len(cycles),
+                "dma_blocked": dma_blocked,
+                "revolve_stall": revolve_stall,
+                "dispatch_wait": dispatch_wait,
+                "idle": idle,
+            }
+        return activity
 
 
 @dataclass(frozen=True)
@@ -372,18 +522,23 @@ class DPUSimulator:
             if phase.kind == COMPUTE:
                 state.remaining = phase.amount
                 return busy_added
-            # DMA phase: serialize on the shared engine.
+            # DMA phase: serialize on the shared engine. The tasklet
+            # requests the transfer as soon as it is unblocked; the
+            # engine starts it when free — the difference is queue wait.
             cost = (
                 self.config.dma_fixed_cycles
                 + phase.amount * self.config.dma_cycles_per_byte
             )
-            start = max(now, dma_free[0], state.blocked_until)
+            request = max(now, state.blocked_until)
+            start = max(request, dma_free[0])
             completion = start + cost
             dma_free[0] = completion
             state.blocked_until = completion
             busy_added += cost
             if trace is not None:
-                trace.record_dma(tasklet, start, completion, phase.amount)
+                trace.record_dma(
+                    tasklet, request, start, completion, phase.amount
+                )
             state.phase_index += 1
             now = completion
 

@@ -72,11 +72,37 @@ class TestKeepGoing:
                 "experiment": "broken",
                 "error_type": "ValueError",
                 "message": "synthetic failure",
+                "header": "broken: ValueError: synthetic failure",
             }
         ]
 
+    def test_failure_record_header_leads_with_experiment_id(
+        self, broken_experiment
+    ):
+        """Every failure record's one-line header starts with the
+        experiment id, so grepping a batch log always finds the id."""
+        results = run_all(["broken"], keep_going=True)
+        (record,) = results.failure_records()
+        assert record["header"].startswith(record["experiment"] + ": ")
+        assert record["error_type"] in record["header"]
+        assert record["message"] in record["header"]
+
     def test_failure_records_empty_without_failures(self):
         assert run_all(["fig1a"]).failure_records() == []
+
+
+class TestTraceExperiment:
+    def test_returns_rows_and_spans(self):
+        from repro.harness.runner import trace_experiment
+        from repro.obs.trace import get_tracer
+
+        rows, spans = trace_experiment("fig1a")
+        assert rows == run_experiment("fig1a")
+        names = {span.name for span in spans}
+        assert "experiment.fig1a" in names
+        assert any(n.startswith("pim.time_kernel.") for n in names)
+        # The recording tracer was scoped: the global default is back.
+        assert not get_tracer().enabled
 
 
 class TestKeepGoingCLI:

@@ -7,6 +7,7 @@ import pytest
 
 from repro.errors import ParameterError
 from repro.obs.export import (
+    merge_chrome_traces,
     read_jsonl,
     render_time_tree,
     span_to_dict,
@@ -16,6 +17,56 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.trace import Tracer
+
+
+class TestMergeChromeTraces:
+    def _sim_document(self):
+        from repro.pim.config import UPMEMConfig
+        from repro.pim.sim import DPUSimulator, Phase, SimTrace, TaskletProgram
+
+        trace = SimTrace()
+        DPUSimulator(UPMEMConfig()).run(
+            [TaskletProgram((Phase("dma", 128), Phase("compute", 40)))] * 3,
+            trace=trace,
+        )
+        return trace.to_chrome_trace(process_name="DPU sim")
+
+    def test_host_and_device_lanes_in_one_document(self):
+        tracer = Tracer()
+        with tracer.span("experiment.fig1a"):
+            pass
+        merged = merge_chrome_traces(
+            [to_chrome_trace(tracer.finished), self._sim_document()]
+        )
+        validate_chrome_trace(merged)
+        by_pid: dict = {}
+        for event in merged["traceEvents"]:
+            if event["ph"] == "M" and event["name"] == "process_name":
+                by_pid[event["pid"]] = event["args"]["name"]
+        assert by_pid == {1: "repro model", 2: "DPU sim"}
+        thread_names = {
+            e["args"]["name"]
+            for e in merged["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "dma engine" in thread_names
+        assert "tasklet 0" in thread_names
+
+    def test_inputs_not_mutated_and_events_preserved(self):
+        document = self._sim_document()
+        before = [dict(e) for e in document["traceEvents"]]
+        merged = merge_chrome_traces([document, document])
+        assert document["traceEvents"] == before
+        assert len(merged["traceEvents"]) == 2 * len(before)
+        assert {e["pid"] for e in merged["traceEvents"]} == {1, 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            merge_chrome_traces([])
+
+    def test_invalid_member_rejected(self):
+        with pytest.raises(ParameterError):
+            merge_chrome_traces([{"nope": []}])
 
 
 @pytest.fixture()

@@ -147,3 +147,46 @@ class TestWriteAndCLI:
         )
         assert status == 0
         assert "fig1a" in capsys.readouterr().out
+
+
+class TestProfileReport:
+    @pytest.fixture()
+    def profile(self):
+        from repro.obs.profile import kernel_from_spec, profile_kernel
+
+        return profile_kernel(
+            kernel_from_spec("vec_mul:128"),
+            n_elements=64,
+            tasklets=16,
+            work_units=640,
+        )
+
+    def test_standalone_report_is_complete_html(self, profile):
+        html = htmlreport.render_profile_report([profile])
+        assert html.startswith("<!doctype html>")
+        assert html.endswith("</html>")
+        assert "pipeline-bound" in html
+        assert "occbar" in html  # occupancy bars rendered
+        assert "load balance" in html
+        assert "queue-wait histogram" in html
+        # One breakdown row per tasklet.
+        assert html.count("<tr><td>t") == 16
+
+    def test_empty_profile_list_says_so(self):
+        html = htmlreport.render_profile_report([])
+        assert "No PIM kernel launches" in html
+
+    def test_labels_escaped(self, profile):
+        from dataclasses import replace
+
+        hostile = replace(profile, label="<script>alert(1)</script>")
+        html = htmlreport.render_profile_report([hostile])
+        assert "<script>alert(1)" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_dashboard_grows_profile_section(self, history, profile):
+        html = htmlreport.render_dashboard(history, profiles=[profile])
+        assert "Pipeline profiles" in html
+        assert "occbar" in html
+        # Without profiles the section is absent.
+        assert "Pipeline profiles" not in htmlreport.render_dashboard(history)

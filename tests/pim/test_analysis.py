@@ -5,14 +5,47 @@ import pytest
 from repro.errors import ParameterError
 from repro.pim.analysis import (
     OP_CLASSES,
+    classification_gaps,
     kernel_cycle_breakdown,
     kernel_op_tally,
     software_multiply_share,
 )
+from repro.pim.isa import DEFAULT_CYCLES_PER_OP
 from repro.pim.kernels import VecAddKernel, VecMulKernel
 from repro.poly.modring import find_ntt_prime
 
 Q109 = find_ntt_prime(109, 4096)
+
+
+class TestClassificationDriftGuard:
+    """The ISA table and the breakdown classes must never drift apart:
+    an op priced but unclassified silently vanishes from every
+    ``ext_op_breakdown`` report, and a class naming a nonexistent op
+    means the report lies about what it covers."""
+
+    def test_every_priced_op_is_classified(self):
+        assert classification_gaps()["unclassified"] == []
+
+    def test_no_class_references_unknown_ops(self):
+        assert classification_gaps()["unknown"] == []
+
+    def test_no_op_claimed_twice(self):
+        assert classification_gaps()["duplicated"] == []
+
+    def test_gaps_detect_an_unclassified_op(self, monkeypatch):
+        patched = dict(DEFAULT_CYCLES_PER_OP, new_op=1.0)
+        monkeypatch.setattr(
+            "repro.pim.analysis.DEFAULT_CYCLES_PER_OP", patched
+        )
+        assert classification_gaps()["unclassified"] == ["new_op"]
+
+    def test_gaps_detect_unknown_and_duplicated_ops(self, monkeypatch):
+        patched = dict(OP_CLASSES)
+        patched["bogus"] = ("no_such_op", "add")
+        monkeypatch.setattr("repro.pim.analysis.OP_CLASSES", patched)
+        gaps = classification_gaps()
+        assert gaps["unknown"] == ["no_such_op"]
+        assert gaps["duplicated"] == ["add"]
 
 
 class TestOpTally:
