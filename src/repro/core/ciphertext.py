@@ -59,9 +59,13 @@ class Ciphertext:
     have size 2; multiplying two size-2 ciphertexts yields size 3 until
     relinearization brings it back to 2. Decryption of a size-``k``
     ciphertext evaluates ``sum(c_i * s^i)``.
+
+    ``__weakref__`` is in the slots so the noise ledger
+    (:mod:`repro.obs.noise`) can drop its per-ciphertext stamps when a
+    ciphertext is garbage-collected.
     """
 
-    __slots__ = ("params", "polys")
+    __slots__ = ("params", "polys", "__weakref__")
 
     def __init__(self, params: BFVParameters, polys):
         polys = tuple(polys)

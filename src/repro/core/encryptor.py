@@ -8,6 +8,7 @@ from repro.core.ciphertext import Ciphertext, Plaintext
 from repro.core.keys import PublicKey, SecretKey
 from repro.core.params import BFVParameters
 from repro.errors import ParameterError
+from repro.obs.noise import get_noise_ledger
 from repro.poly.polynomial import Polynomial
 from repro.poly.sampling import sample_centered_binomial, sample_ternary
 
@@ -51,7 +52,9 @@ class Encryptor:
         )
         c0 = self.public_key.p0 * u + e1 + scaled_m
         c1 = self.public_key.p1 * u + e2
-        return Ciphertext(params, (c0, c1))
+        ciphertext = Ciphertext(params, (c0, c1))
+        get_noise_ledger().stamp_fresh(ciphertext)
+        return ciphertext
 
     def encrypt_zero(self) -> Ciphertext:
         """Encrypt the zero plaintext (useful as an accumulator seed)."""
@@ -90,4 +93,6 @@ class SymmetricEncryptor:
             params.delta
         )
         c0 = -(a * self.secret_key.poly + e) + scaled_m
-        return Ciphertext(params, (c0, a))
+        ciphertext = Ciphertext(params, (c0, a))
+        get_noise_ledger().stamp_fresh(ciphertext)
+        return ciphertext

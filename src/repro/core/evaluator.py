@@ -20,6 +20,7 @@ from repro.core.ciphertext import Ciphertext, Plaintext
 from repro.core.keys import RelinKey
 from repro.core.params import BFVParameters
 from repro.errors import CiphertextError, ParameterError
+from repro.obs.noise import get_noise_ledger
 from repro.poly.polynomial import Polynomial, negacyclic_convolve
 
 
@@ -41,13 +42,42 @@ class Evaluator:
 
     The evaluator never sees secret material: it holds at most the
     relinearization key, which is public evaluation key material.
+
+    Every operation reports itself to the process-global noise ledger
+    (:mod:`repro.obs.noise`) — a no-op unless a recording ledger is
+    installed. An optional ``guard``
+    (:class:`repro.core.planner.HeadroomGuard`) is consulted *before*
+    each budget-consuming operation with the ledger's predicted
+    post-op budget; a strict guard raises
+    :class:`~repro.errors.NoiseBudgetExhaustedError` instead of letting
+    an operation silently push a ciphertext past decryption failure.
     """
 
-    def __init__(self, params: BFVParameters, relin_key: RelinKey | None = None):
+    def __init__(
+        self,
+        params: BFVParameters,
+        relin_key: RelinKey | None = None,
+        guard=None,
+    ):
         if relin_key is not None and relin_key.params != params:
             raise ParameterError("relin key belongs to different parameters")
         self.params = params
         self.relin_key = relin_key
+        self.guard = guard
+
+    def _guard_check(self, op: str, inputs, plain=None, params=None) -> None:
+        """Consult the headroom guard with the pre-op prediction.
+
+        Needs an active noise ledger to know the inputs' budgets; with
+        the null ledger (or untracked inputs) the prediction is None
+        and the guard stays silent.
+        """
+        if self.guard is None:
+            return
+        stamp = get_noise_ledger().predict(
+            op, inputs, params=params or self.params, plain=plain
+        )
+        self.guard.check(op, stamp, self.params)
 
     # -- additive operations ------------------------------------------------
 
@@ -59,6 +89,7 @@ class Evaluator:
         """
         self._check(a)
         a.check_compatible(b)
+        self._guard_check("add", (a, b))
         size = max(a.size, b.size)
         zero = Polynomial.zero(self.params.poly_degree, self.params.coeff_modulus)
         polys = []
@@ -66,7 +97,9 @@ class Evaluator:
             pa = a.polys[i] if i < a.size else zero
             pb = b.polys[i] if i < b.size else zero
             polys.append(pa + pb)
-        return Ciphertext(self.params, polys)
+        result = Ciphertext(self.params, polys)
+        get_noise_ledger().record_op("add", result, (a, b))
+        return result
 
     def add_many(self, ciphertexts) -> Ciphertext:
         """Sum an iterable of ciphertexts (balanced-tree order).
@@ -93,7 +126,9 @@ class Evaluator:
     def negate(self, a: Ciphertext) -> Ciphertext:
         """Homomorphic negation."""
         self._check(a)
-        return Ciphertext(self.params, tuple(-p for p in a.polys))
+        result = Ciphertext(self.params, tuple(-p for p in a.polys))
+        get_noise_ledger().record_op("negate", result, (a,))
+        return result
 
     def add_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
         """Add an unencrypted plaintext to a ciphertext (noise-free)."""
@@ -105,7 +140,9 @@ class Evaluator:
         ).scalar_mul(self.params.delta)
         polys = list(a.polys)
         polys[0] = polys[0] + scaled
-        return Ciphertext(self.params, polys)
+        result = Ciphertext(self.params, polys)
+        get_noise_ledger().record_op("add_plain", result, (a,))
+        return result
 
     # -- multiplicative operations -------------------------------------------
 
@@ -124,7 +161,14 @@ class Evaluator:
             raise CiphertextError(
                 "multiply_plain by zero produces a transparent ciphertext"
             )
-        return Ciphertext(self.params, tuple(p * lifted for p in a.polys))
+        self._guard_check("multiply_plain", (a,), plain=plain)
+        result = Ciphertext(
+            self.params, tuple(p * lifted for p in a.polys)
+        )
+        get_noise_ledger().record_op(
+            "multiply_plain", result, (a,), plain=plain
+        )
+        return result
 
     def multiply(
         self, a: Ciphertext, b: Ciphertext, relinearize: bool = True
@@ -142,6 +186,7 @@ class Evaluator:
                 "multiply expects size-2 operands; relinearize first "
                 f"(got sizes {a.size} and {b.size})"
             )
+        self._guard_check("multiply", (a, b))
         params = self.params
         n, q, t = params.poly_degree, params.coeff_modulus, params.plain_modulus
 
@@ -158,6 +203,7 @@ class Evaluator:
             Polynomial(_round_scale_list(d, t, q), q) for d in (d0, d1, d2)
         )
         product = Ciphertext(params, polys)
+        get_noise_ledger().record_op("multiply", product, (a, b))
         if relinearize and self.relin_key is not None:
             return self.relinearize(product)
         return product
@@ -171,6 +217,7 @@ class Evaluator:
         self._check(a)
         if a.size != 2:
             raise CiphertextError("square expects a size-2 ciphertext")
+        self._guard_check("square", (a,))
         params = self.params
         n, q, t = params.poly_degree, params.coeff_modulus, params.plain_modulus
         a0, a1 = (p.centered() for p in a.polys)
@@ -181,6 +228,7 @@ class Evaluator:
             Polynomial(_round_scale_list(d, t, q), q) for d in (d0, d1, d2)
         )
         product = Ciphertext(params, polys)
+        get_noise_ledger().record_op("square", product, (a,))
         if relinearize and self.relin_key is not None:
             return self.relinearize(product)
         return product
@@ -252,6 +300,7 @@ class Evaluator:
             raise CiphertextError(
                 f"relinearize supports size-3 ciphertexts, got size {a.size}"
             )
+        self._guard_check("relinearize", (a,))
         params = self.params
         q = params.coeff_modulus
         base_bits = self.relin_key.base_bits
@@ -271,7 +320,9 @@ class Evaluator:
         for digit, (rk0, rk1) in zip(digits, self.relin_key.pairs):
             new_c0 = new_c0 + rk0 * digit
             new_c1 = new_c1 + rk1 * digit
-        return Ciphertext(params, (new_c0, new_c1))
+        result = Ciphertext(params, (new_c0, new_c1))
+        get_noise_ledger().record_op("relinearize", result, (a,))
+        return result
 
     # -- helpers ---------------------------------------------------------------
 

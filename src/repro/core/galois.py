@@ -29,6 +29,7 @@ from repro.core.ciphertext import Ciphertext
 from repro.core.keys import SecretKey
 from repro.core.params import BFVParameters
 from repro.errors import CiphertextError, KeyError_, ParameterError
+from repro.obs.noise import get_noise_ledger
 from repro.poly.polynomial import Polynomial
 from repro.poly.sampling import sample_centered_binomial, sample_uniform
 
@@ -181,7 +182,9 @@ def apply_galois(
         new_c1 = new_c1 + k1 * digit
     if any(remaining):
         raise CiphertextError("galois digit count too small for modulus")
-    return Ciphertext(params, (new_c0, new_c1))
+    result = Ciphertext(params, (new_c0, new_c1))
+    get_noise_ledger().record_op("rotate", result, (ciphertext,))
+    return result
 
 
 def rotate_rows(

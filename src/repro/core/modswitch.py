@@ -25,6 +25,7 @@ from repro.core.ciphertext import Ciphertext
 from repro.core.keys import SecretKey
 from repro.core.params import BFVParameters
 from repro.errors import ParameterError
+from repro.obs.noise import get_noise_ledger
 from repro.poly.polynomial import Polynomial
 
 
@@ -82,7 +83,11 @@ def switch_modulus(ciphertext: Ciphertext, new_modulus: int) -> Ciphertext:
             _round_scale(c, new_modulus, q) for c in poly.centered()
         ]
         polys.append(Polynomial(scaled, new_modulus))
-    return Ciphertext(new_params, polys)
+    result = Ciphertext(new_params, polys)
+    get_noise_ledger().record_op(
+        "mod_switch", result, (ciphertext,), params=new_params
+    )
+    return result
 
 
 def bgv_switch_modulus(ciphertext: Ciphertext, new_modulus: int) -> Ciphertext:
@@ -122,7 +127,11 @@ def bgv_switch_modulus(ciphertext: Ciphertext, new_modulus: int) -> Ciphertext:
                 delta -= t
             coeffs.append(scaled + delta)
         polys.append(Polynomial(coeffs, new_modulus))
-    return Ciphertext(new_params, polys)
+    result = Ciphertext(new_params, polys)
+    get_noise_ledger().record_op(
+        "mod_switch", result, (ciphertext,), params=new_params
+    )
+    return result
 
 
 def switch_secret_key(secret: SecretKey, new_params: BFVParameters) -> SecretKey:

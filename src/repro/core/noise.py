@@ -104,6 +104,36 @@ def keyswitch_floor_bits(params: BFVParameters) -> float:
     return -1.0 - math.log2(estimate) if estimate > 0 else float("inf")
 
 
+def multiply_plain_noise_growth_bits(plain) -> float:
+    """Budget consumed by a plaintext multiplication, in bits.
+
+    Plaintext multiplication convolves each component with the centered
+    plaintext, so the invariant noise grows by at most the plaintext's
+    L1 norm; the budget cost is ``log2`` of that norm (zero for a
+    monomial with a ±1 coefficient).
+    """
+    norm = sum(abs(c) for c in plain.poly.centered())
+    return math.log2(norm) if norm > 1 else 0.0
+
+
+def mod_switch_floor_bits(params: BFVParameters) -> float:
+    """Budget ceiling introduced by switching *to* ``params``.
+
+    Rescaling ``c' = round(q'/q * c)`` adds a rounding term of
+    invariant magnitude ``~ t * n / (2 * q')`` (see
+    :mod:`repro.core.modswitch`), so a switched ciphertext can never
+    report more than ``-log2(2 * t * n / (2 * q')) =
+    log2(q' / (t * n))`` bits of budget. ``params`` is the *new*
+    (smaller-modulus) parameter set.
+    """
+    estimate = (
+        params.plain_modulus
+        * params.poly_degree
+        / (2 * params.coeff_modulus)
+    )
+    return -1.0 - math.log2(estimate) if estimate > 0 else float("inf")
+
+
 def multiply_noise_growth_bits(params: BFVParameters) -> float:
     """Rough budget consumed by one multiplication.
 

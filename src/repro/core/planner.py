@@ -25,7 +25,7 @@ from repro.core.noise import (
     multiply_noise_growth_bits,
 )
 from repro.core.params import SECURITY_LEVELS, BFVParameters
-from repro.errors import ParameterError
+from repro.errors import NoiseBudgetExhaustedError, ParameterError
 
 
 @dataclass(frozen=True)
@@ -153,6 +153,71 @@ def minimum_security_level(
         f"{circuit.additions_per_level} additions per level; "
         f"use custom parameters"
     )
+
+
+class HeadroomGuard:
+    """Pre-op guard against decryption-failure by noise exhaustion.
+
+    Attach to an :class:`~repro.core.evaluator.Evaluator` (its
+    ``guard`` argument). Before each budget-consuming operation the
+    evaluator asks the process-global noise ledger
+    (:mod:`repro.obs.noise`) for the *predicted post-op* stamp and
+    passes it here. When the predicted remaining budget would fall
+    below ``margin_bits``, the guard:
+
+    * emits a ``noise.headroom`` trace event carrying the operation
+      and the offending prediction,
+    * increments the ``noise.headroom_violations`` counter, and
+    * (when ``strict``) raises
+      :class:`~repro.errors.NoiseBudgetExhaustedError` *before* the
+      operation runs — turning a silent wrong-answer decryption into
+      an attributable failure at the op that caused it.
+
+    The guard needs a recording ledger to see any predictions; with
+    the null ledger (or untracked inputs) ``stamp`` is None and the
+    guard stays silent by design.
+    """
+
+    def __init__(self, margin_bits: float = 0.0, strict: bool = False):
+        if margin_bits < 0:
+            raise ParameterError(
+                f"margin must be non-negative: {margin_bits}"
+            )
+        self.margin_bits = margin_bits
+        self.strict = strict
+        self.violations = 0
+
+    def check(self, op: str, stamp, params: BFVParameters) -> None:
+        """Check one predicted post-op stamp; None stamps pass."""
+        if stamp is None or stamp.pred_bits >= self.margin_bits:
+            return
+        self.violations += 1
+        from repro.obs.metrics import get_registry
+        from repro.obs.trace import get_tracer
+
+        with get_tracer().span(
+            "noise.headroom",
+            attrs={
+                "op": op,
+                "pred_bits": stamp.pred_bits,
+                "margin_bits": self.margin_bits,
+                "security_bits": params.security_bits,
+            },
+        ):
+            pass
+        get_registry().counter(
+            "noise.headroom_violations",
+            help="operations predicted to exhaust the noise budget",
+        ).inc()
+        if self.strict:
+            raise NoiseBudgetExhaustedError(
+                f"{op} would drive the predicted noise budget to "
+                f"{stamp.pred_bits:.1f} bits (margin "
+                f"{self.margin_bits:.1f}) at the "
+                f"{params.security_bits}-bit level; the result would "
+                "likely not decrypt. Use larger parameters, reduce the "
+                "circuit depth, or relax the guard."
+            )
 
 
 def workload_circuit(workload) -> CircuitShape:

@@ -41,9 +41,15 @@ class CiphertextError(ReproError, ValueError):
 class NoiseBudgetExhaustedError(ReproError):
     """The invariant noise exceeded the decryption threshold.
 
-    Decrypting such a ciphertext would return garbage; the evaluator
-    raises this instead when ``strict_noise`` checking is enabled.
+    Decrypting such a ciphertext would return garbage; a strict
+    :class:`~repro.core.planner.HeadroomGuard` raises this *before* the
+    offending operation runs, turning a silent wrong-answer decryption
+    into an attributable failure.
     """
+
+
+#: Short alias used by the headroom guard's public API.
+NoiseBudgetExhausted = NoiseBudgetExhaustedError
 
 
 class DeviceError(ReproError):

@@ -14,7 +14,11 @@ Subcommands:
   attribution diff between recorded runs, and the HTML dashboard;
 * ``profile <experiment|kernel-spec>`` — the pipeline profiler:
   tasklet occupancy, DMA contention, and a bottleneck verdict per
-  kernel, with optional Chrome-trace and HTML exports.
+  kernel, with optional Chrome-trace and HTML exports;
+* ``noise record|check|report`` — noise-budget calibration: record
+  seeded predicted-vs-measured budget trajectories per security
+  level, gate the growth model against them (``NOISE-DRIFT``), and
+  render the budget-vs-depth HTML report.
 
 Installed as both ``repro-experiments`` and the shorter ``repro``.
 
@@ -140,10 +144,14 @@ def _cmd_perf_record(args) -> int:
 
 def _cmd_perf_check(args) -> int:
     """Re-run and compare against the baseline; non-zero on failure."""
+    from repro.errors import ParameterError
     from repro.obs import baseline as bl
     from repro.obs import perf
 
-    baseline = bl.read_run(args.baseline)
+    try:
+        baseline = bl.read_run(args.baseline)
+    except ParameterError as exc:
+        return _no_data(str(exc))
     ids = args.ids or list(baseline["experiments"])
     current = bl.capture_run(ids, repeats=args.repeats, progress=_progress)
     bl.append_history(current, args.history)
@@ -156,12 +164,9 @@ def _cmd_perf_check(args) -> int:
     return perf.exit_code(verdicts)
 
 
-def _no_data(message: str) -> int:
+def _no_data(message: str, hint: str = "repro perf record") -> int:
     """Report missing recorded data; :data:`EXIT_DATA`, never a trace."""
-    print(
-        f"{message}\nrecord a run first: repro perf record",
-        file=sys.stderr,
-    )
+    print(f"{message}\nrecord a run first: {hint}", file=sys.stderr)
     return EXIT_DATA
 
 
@@ -205,6 +210,80 @@ def _cmd_perf_html(args) -> int:
     document = htmlreport.render_dashboard(
         history, baseline, skip_wall=args.skip_wall
     )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_noise_record(args) -> int:
+    """Capture the noise-calibration baseline and append the history."""
+    from repro.obs import noisegate as ng
+
+    doc = ng.capture_noise_run(
+        levels=args.levels or None, seed=args.seed, progress=_progress
+    )
+    ng.write_noise_run(doc, args.baseline)
+    ng.append_noise_history(doc, args.history)
+    trajectories = sum(
+        len(level["workloads"]) for level in doc["levels"].values()
+    )
+    print(
+        f"recorded {trajectories} noise trajectories over "
+        f"{len(doc['levels'])} security levels as run "
+        f"{doc['run_id'][:12]} (git {str(doc['git_sha'])[:12]})"
+    )
+    print(f"baseline written to {args.baseline}; history at {args.history}")
+    return 0
+
+
+def _cmd_noise_check(args) -> int:
+    """Re-run the trajectories and gate against the calibration baseline."""
+    from repro.errors import ParameterError
+    from repro.obs import noisegate as ng
+
+    try:
+        baseline = ng.read_noise_run(args.baseline)
+    except ParameterError as exc:
+        return _no_data(str(exc), hint="repro noise record")
+    levels = args.levels or [int(bits) for bits in baseline["levels"]]
+    current = ng.capture_noise_run(
+        levels=levels, seed=baseline.get("seed", 7), progress=_progress
+    )
+    ng.append_noise_history(current, args.history)
+    verdicts = ng.check_noise_runs(baseline, current)
+    print(ng.render_noise_check(verdicts, baseline, current))
+    if args.update:
+        ng.write_noise_run(current, args.baseline)
+        print(f"calibration baseline re-recorded: {args.baseline}")
+        return 0
+    return ng.exit_code(verdicts)
+
+
+def _cmd_noise_report(args) -> int:
+    """Render the newest recorded noise run as a standalone HTML report."""
+    import os
+
+    from repro.obs import htmlreport
+    from repro.obs import noisegate as ng
+
+    history = ng.read_noise_history(args.history)
+    baseline = (
+        ng.read_noise_run(args.baseline)
+        if os.path.exists(args.baseline)
+        else None
+    )
+    current = history[-1] if history else baseline
+    if current is None:
+        return _no_data(
+            f"no noise history at {args.history} and no baseline at "
+            f"{args.baseline} — nothing to render",
+            hint="repro noise record",
+        )
+    document = htmlreport.render_noise_report(current, baseline)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(document)
@@ -554,6 +633,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _perf_common(html_parser)
     html_parser.set_defaults(func=_cmd_perf_html)
+
+    noise_parser = sub.add_parser(
+        "noise",
+        help="noise-budget calibration: record, gate, and report "
+        "predicted-vs-measured trajectories",
+        description=(
+            "Record seeded-deterministic noise-budget trajectories "
+            "(predicted and measured bits per operation) for the paper "
+            "security levels and gate the growth model against them: "
+            "any change beyond tolerance is NOISE-DRIFT. See "
+            "docs/observability.md."
+        ),
+    )
+    noise_sub = noise_parser.add_subparsers(
+        dest="noise_command", required=True
+    )
+
+    def _noise_common(p) -> None:
+        from repro.obs.noisegate import (
+            DEFAULT_BASELINE_PATH,
+            DEFAULT_HISTORY_PATH,
+        )
+
+        p.add_argument(
+            "--baseline",
+            default=DEFAULT_BASELINE_PATH,
+            metavar="FILE",
+            help=f"calibration JSON (default: {DEFAULT_BASELINE_PATH})",
+        )
+        p.add_argument(
+            "--history",
+            default=DEFAULT_HISTORY_PATH,
+            metavar="FILE",
+            help=f"run-history JSONL (default: {DEFAULT_HISTORY_PATH})",
+        )
+
+    noise_record = noise_sub.add_parser(
+        "record", help="capture the noise-calibration baseline"
+    )
+    noise_record.add_argument(
+        "levels",
+        nargs="*",
+        type=int,
+        help="security levels to record (default: all paper levels)",
+    )
+    noise_record.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="seed for keys, encryption randomness, and operand "
+        "sampling (default: 7)",
+    )
+    _noise_common(noise_record)
+    noise_record.set_defaults(func=_cmd_noise_record)
+
+    noise_check = noise_sub.add_parser(
+        "check", help="re-run trajectories and gate against the baseline"
+    )
+    noise_check.add_argument(
+        "levels",
+        nargs="*",
+        type=int,
+        help="security levels to check (default: everything in the "
+        "baseline)",
+    )
+    noise_check.add_argument(
+        "--update",
+        action="store_true",
+        help="adopt the current run as the new calibration (exit 0)",
+    )
+    _noise_common(noise_check)
+    noise_check.set_defaults(func=_cmd_noise_check)
+
+    noise_report = noise_sub.add_parser(
+        "report",
+        help="render the budget-vs-depth trajectories as standalone HTML",
+    )
+    noise_report.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    _noise_common(noise_report)
+    noise_report.set_defaults(func=_cmd_noise_report)
 
     profile_parser = sub.add_parser(
         "profile",

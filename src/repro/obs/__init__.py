@@ -36,6 +36,13 @@ PR 3 adds :mod:`repro.obs.profile`: the pipeline profiler behind
 balance, and bottleneck verdicts cross-checked against the analytic
 cost model (disagreement raises
 :class:`~repro.errors.ModelValidationError`).
+
+PR 4 makes the *correctness* axis observable: :mod:`repro.obs.noise`
+stamps every ciphertext with its predicted invariant-noise budget
+(updated by each evaluator operation, measured on demand with the
+secret key), and :mod:`repro.obs.noisegate` gates the growth model
+against committed predicted-vs-measured trajectories
+(``NOISE-DRIFT``) — driven by ``repro noise record|check|report``.
 """
 
 from repro.obs.baseline import (
@@ -60,8 +67,27 @@ from repro.obs.export import (
 )
 from repro.obs.htmlreport import (
     render_dashboard,
+    render_noise_report,
     render_profile_report,
     write_dashboard,
+    write_noise_report,
+)
+from repro.obs.noise import (
+    NULL_NOISE_LEDGER,
+    NoiseLedger,
+    NoiseStamp,
+    NullNoiseLedger,
+    get_noise_ledger,
+    set_noise_ledger,
+    use_noise_ledger,
+)
+from repro.obs.noisegate import (
+    NoiseVerdict,
+    capture_noise_run,
+    check_noise_runs,
+    read_noise_run,
+    render_noise_check,
+    write_noise_run,
 )
 from repro.obs.metrics import (
     NULL_REGISTRY,
@@ -159,4 +185,20 @@ __all__ = [
     "render_diff",
     "render_dashboard",
     "write_dashboard",
+    # noise ledger & calibration gate (repro noise)
+    "NoiseStamp",
+    "NoiseLedger",
+    "NullNoiseLedger",
+    "NULL_NOISE_LEDGER",
+    "get_noise_ledger",
+    "set_noise_ledger",
+    "use_noise_ledger",
+    "NoiseVerdict",
+    "capture_noise_run",
+    "check_noise_runs",
+    "read_noise_run",
+    "write_noise_run",
+    "render_noise_check",
+    "render_noise_report",
+    "write_noise_report",
 ]

@@ -15,7 +15,13 @@ import pathlib
 
 from repro.obs import perf as _perf
 
-__all__ = ["render_dashboard", "write_dashboard", "render_profile_report"]
+__all__ = [
+    "render_dashboard",
+    "write_dashboard",
+    "render_profile_report",
+    "render_noise_report",
+    "write_noise_report",
+]
 
 _BADGE_COLORS = {
     _perf.VERDICT_OK: "#2e7d32",
@@ -23,6 +29,7 @@ _BADGE_COLORS = {
     _perf.VERDICT_NEW: "#6a1b9a",
     _perf.VERDICT_REGRESSION: "#c62828",
     _perf.VERDICT_DRIFT: "#e65100",
+    "NOISE-DRIFT": "#c62828",
 }
 
 _CSS = """
@@ -264,6 +271,166 @@ def render_profile_report(
     parts.extend(_profile_section(p) for p in profiles)
     parts.append("</body></html>")
     return "".join(parts)
+
+
+# -- noise calibration ------------------------------------------------------
+
+
+def _budget_chart(trajectory, width: int = 340, height: int = 130) -> str:
+    """Predicted and measured budget vs trajectory step, as inline SVG.
+
+    Both series on one axis (bits of remaining invariant-noise budget);
+    the zero line — below which decryption fails — is drawn dashed
+    whenever the value range reaches it.
+    """
+    preds = [step["pred_bits"] for step in trajectory]
+    meas = [step["meas_bits"] for step in trajectory]
+    values = preds + meas + [0.0]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 8
+    n = len(trajectory)
+    step_x = (width - 2 * pad) / max(n - 1, 1)
+
+    def y(v: float) -> float:
+        return height - pad - (v - lo) / span * (height - 2 * pad)
+
+    def line(series, color: str, dashed: bool = False) -> str:
+        coords = " ".join(
+            f"{pad + i * step_x:.1f},{y(v):.1f}" for i, v in enumerate(series)
+        )
+        dash = ' stroke-dasharray="4 3"' if dashed else ""
+        return (
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"{dash}/>'
+        )
+
+    ops = " → ".join(step["op"] for step in trajectory)
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">',
+        f"<title>{_esc(f'budget trajectory: {ops}')}</title>",
+        f'<line x1="{pad}" y1="{y(0.0):.1f}" x2="{width - pad}" '
+        f'y2="{y(0.0):.1f}" stroke="#c62828" stroke-width="1" '
+        f'stroke-dasharray="2 3"/>',
+        line(preds, "#1565c0", dashed=True),
+        line(meas, "#2e7d32"),
+    ]
+    parts.extend(
+        f'<circle cx="{pad + i * step_x:.1f}" cy="{y(v):.1f}" r="2.2" '
+        f'fill="#2e7d32"/>'
+        for i, v in enumerate(meas)
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _noise_card(bits: str, name: str, shape: dict, verdict) -> str:
+    trajectory = shape["trajectory"]
+    final = trajectory[-1]
+    headroom = final["meas_bits"]
+    parts = ["<div class='card'>"]
+    parts.append(
+        f"<h2>{_esc(bits)}-bit level · {_esc(name)} "
+        + (_badge(verdict.verdict) if verdict is not None else "")
+        + "</h2>"
+    )
+    parts.append(_budget_chart(trajectory))
+    parts.append(
+        "<p class='meta'>"
+        '<span style="color:#1565c0">— — predicted</span> · '
+        '<span style="color:#2e7d32">— measured</span> · '
+        '<span style="color:#c62828">· · zero (decryption fails)</span>'
+        f"<br>final headroom: {headroom:.1f} bits measured "
+        f"({final['pred_bits']:.1f} predicted) after "
+        f"{len(trajectory) - 1} operations at depth {final['depth']}"
+        "</p>"
+    )
+    rows = "".join(
+        f"<tr><td>{i}</td><td>{_esc(step['op'])}</td>"
+        f"<td>{step['pred_bits']:.2f}</td>"
+        f"<td>{step['meas_bits']:.2f}</td>"
+        f"<td>{step['depth']}</td><td>{step['key_switches']}</td></tr>"
+        for i, step in enumerate(trajectory)
+    )
+    parts.append(
+        "<details><summary>trajectory</summary>"
+        "<table><tr><th>step</th><th>op</th><th>pred bits</th>"
+        "<th>meas bits</th><th>depth</th><th>key switches</th></tr>"
+        f"{rows}</table></details>"
+    )
+    if verdict is not None and verdict.notes:
+        parts.append(
+            "<ul>"
+            + "".join(f"<li>{_esc(note)}</li>" for note in verdict.notes)
+            + "</ul>"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def render_noise_report(
+    current: dict,
+    baseline: dict | None = None,
+    title: str = "repro noise calibration",
+) -> str:
+    """Budget-vs-depth HTML report for a recorded noise run.
+
+    Each (security level, workload shape) renders as a card: the
+    predicted and measured budget trajectories against the zero line,
+    the final decryption-failure headroom, and — when a calibration
+    baseline is given — the same ``NOISE-DRIFT`` verdict badges as
+    ``repro noise check`` (:func:`repro.obs.noisegate.check_noise_runs`).
+    """
+    from repro.obs import noisegate as _ng
+
+    verdict_by_key: dict = {}
+    verdicts = []
+    if baseline is not None:
+        verdicts = _ng.check_noise_runs(baseline, current)
+        verdict_by_key = {v.key: v for v in verdicts}
+
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='meta'>current: {_identity_line(current)}"
+        + (
+            f"<br>baseline: {_identity_line(baseline)}"
+            if baseline is not None
+            else ""
+        )
+        + "</p>",
+    ]
+    if verdicts:
+        counts: dict = {}
+        for v in verdicts:
+            counts[v.verdict] = counts.get(v.verdict, 0) + 1
+        parts.append(
+            "<p>"
+            + " ".join(f"{_badge(k)} {n}" for k, n in sorted(counts.items()))
+            + (
+                " — <strong>gate fails</strong>"
+                if _ng.exit_code(verdicts)
+                else " — gate passes"
+            )
+            + "</p>"
+        )
+    for bits, level in sorted(
+        current["levels"].items(), key=lambda item: int(item[0])
+    ):
+        for name, shape in level["workloads"].items():
+            verdict = verdict_by_key.get(f"{bits}b/{name}")
+            parts.append(_noise_card(bits, name, shape, verdict))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_noise_report(path, current, baseline=None, **kwargs) -> None:
+    """Render and write the noise-calibration HTML file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_noise_report(current, baseline, **kwargs))
 
 
 def render_dashboard(

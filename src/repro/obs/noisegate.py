@@ -1,0 +1,423 @@
+"""Noise-model calibration: predicted-vs-measured budget baselines.
+
+:mod:`repro.obs.noise` stamps every ciphertext with the analytic
+budget prediction; this module checks that the *predictions stay
+honest*. A **noise run** records, for each paper security level and
+each statistical-workload shape (mean / variance / linear regression),
+the full trajectory of (operation, predicted budget, measured budget)
+pairs over a small deterministic circuit — every encryption seeded,
+every sample drawn from a seeded generator, so the measured invariant
+noise is bit-for-bit reproducible.
+
+A committed run is the **calibration baseline**
+(``baselines/noise.json``). ``repro noise check`` re-runs the
+trajectories and compares:
+
+* **Predictions are exact.** The growth model is closed-form
+  arithmetic; any change beyond float ulps means the *estimator*
+  changed — reported as ``NOISE-DRIFT``, adopted only deliberately
+  with ``--update`` (mirroring the perf gate's ``MODEL-DRIFT``).
+* **Measurements are exact modulo seeds.** All sampling is seeded, so
+  measured budgets reproduce to well under a bit; a shift beyond
+  :data:`MEAS_TOLERANCE_BITS` means the *evaluator or sampler*
+  changed the actual noise a ciphertext carries.
+* **Predictions must stay conservative.** Within a single run, a
+  prediction exceeding its own measurement by more than
+  :data:`CONSERVATISM_MARGIN_BITS` means the estimator now promises
+  headroom the ciphertext does not have — the one direction that
+  turns into silent decryption failures downstream.
+
+Verdict severity: ``NOISE-DRIFT`` > ``new`` > ``ok``;
+:func:`exit_code` is non-zero iff anything drifted. Documents carry
+the same schema version + run identity (uuid, timestamp, git SHA)
+discipline as the perf baselines (:mod:`repro.obs.baseline`).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.obs.baseline import run_identity
+from repro.obs.noise import NoiseLedger, use_noise_ledger
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_HISTORY_PATH",
+    "WORKLOAD_SHAPES",
+    "PRED_TOLERANCE_BITS",
+    "MEAS_TOLERANCE_BITS",
+    "CONSERVATISM_MARGIN_BITS",
+    "VERDICT_OK",
+    "VERDICT_NEW",
+    "VERDICT_DRIFT",
+    "NoiseVerdict",
+    "capture_noise_run",
+    "write_noise_run",
+    "read_noise_run",
+    "append_noise_history",
+    "read_noise_history",
+    "check_noise_runs",
+    "exit_code",
+    "render_noise_check",
+]
+
+#: Version stamped into every noise-run document / baseline.
+SCHEMA_VERSION = 1
+
+#: Where ``repro noise record`` writes the calibration baseline.
+DEFAULT_BASELINE_PATH = "baselines/noise.json"
+
+#: Where recorded noise runs accumulate (one JSON line each).
+DEFAULT_HISTORY_PATH = "baselines/noise-history.jsonl"
+
+#: The paper's workload shapes, as scripted noise trajectories.
+WORKLOAD_SHAPES = ("mean", "variance", "linreg")
+
+#: Predictions are closed-form: allow only libm ulp differences.
+PRED_TOLERANCE_BITS = 1e-6
+
+#: Measurements are seeded-deterministic: well under a bit of slack.
+MEAS_TOLERANCE_BITS = 0.5
+
+#: A prediction this far above its own measurement is over-promising.
+CONSERVATISM_MARGIN_BITS = 3.0
+
+VERDICT_OK = "ok"
+VERDICT_NEW = "new"
+VERDICT_DRIFT = "NOISE-DRIFT"
+
+
+@dataclass(frozen=True)
+class NoiseVerdict:
+    """One (security level, workload shape) comparison outcome."""
+
+    level_bits: int
+    workload: str
+    verdict: str
+    notes: tuple = field(default_factory=tuple)
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict == VERDICT_DRIFT
+
+    @property
+    def key(self) -> str:
+        return f"{self.level_bits}b/{self.workload}"
+
+    def describe(self) -> str:
+        line = f"[{self.verdict:>11}] {self.key}"
+        for note in self.notes:
+            line += f"\n              - {note}"
+        return line
+
+
+# -- capture ----------------------------------------------------------------
+
+
+def _workload_steps(name: str, params, keys, seed: int):
+    """The scripted trajectory: (op label, ciphertext) per step.
+
+    Small fixed operand values and seeded encryption randomness make
+    the measured budgets deterministic. Shapes mirror the paper's
+    workloads: mean is a depth-0 balanced addition tree; variance
+    squares before summing; linear regression multiplies pairs before
+    summing. Every trajectory opens with a fresh-encryption probe.
+    """
+    from repro.core.encoder import IntegerEncoder
+    from repro.core.encryptor import SymmetricEncryptor
+    from repro.core.evaluator import Evaluator
+
+    encryptor = SymmetricEncryptor(params, keys.secret_key, seed=seed)
+    encoder = IntegerEncoder(params)
+    evaluator = Evaluator(params, keys.relin_key)
+
+    def fresh(value: int):
+        return encryptor.encrypt(encoder.encode(value))
+
+    steps = [("encrypt", fresh(1))]
+    if name == "mean":
+        users = [fresh(v) for v in (1, 2, 3, 4)]
+        left = evaluator.add(users[0], users[1])
+        right = evaluator.add(users[2], users[3])
+        steps.append(("add", left))
+        steps.append(("add", right))
+        steps.append(("add", evaluator.add(left, right)))
+    elif name == "variance":
+        x, y = fresh(2), fresh(3)
+        sq_x = evaluator.square(x)
+        sq_y = evaluator.square(y)
+        steps.append(("square", sq_x))
+        steps.append(("square", sq_y))
+        steps.append(("add", evaluator.add(sq_x, sq_y)))
+    elif name == "linreg":
+        x1, y1, x2, y2 = fresh(1), fresh(2), fresh(3), fresh(2)
+        p1 = evaluator.multiply(x1, y1)
+        p2 = evaluator.multiply(x2, y2)
+        steps.append(("multiply", p1))
+        steps.append(("multiply", p2))
+        steps.append(("add", evaluator.add(p1, p2)))
+    else:
+        raise ParameterError(
+            f"unknown workload shape {name!r}; known: {WORKLOAD_SHAPES}"
+        )
+    return steps
+
+
+def _capture_trajectory(name: str, params, keys, seed: int, ledger) -> list:
+    trajectory = []
+    for op, ciphertext in _workload_steps(name, params, keys, seed):
+        stamp = ledger.lookup(ciphertext)
+        if stamp is None:
+            raise ParameterError(
+                f"ledger lost track of a {op} result in workload "
+                f"{name!r} — the evaluator hooks are broken"
+            )
+        measured = ledger.measure(ciphertext, keys.secret_key)
+        trajectory.append(
+            {
+                "op": op,
+                "pred_bits": stamp.pred_bits,
+                "meas_bits": measured,
+                "depth": stamp.depth,
+                "key_switches": stamp.key_switches,
+            }
+        )
+    return trajectory
+
+
+def capture_noise_run(
+    levels=None,
+    seed: int = 7,
+    params_for=None,
+    workloads=WORKLOAD_SHAPES,
+    progress=None,
+) -> dict:
+    """Record one calibration run over the paper security levels.
+
+    ``params_for`` maps a security-bits value to a
+    :class:`~repro.core.params.BFVParameters`; it defaults to the
+    paper presets (``BFVParameters.security_level``) and exists so
+    tests can calibrate tiny rings quickly. ``progress`` receives a
+    ``"<bits>b/<workload>"`` label as each trajectory starts.
+    """
+    from repro.core.keys import KeyGenerator
+    from repro.core.params import SECURITY_LEVELS, BFVParameters
+
+    if params_for is None:
+        params_for = BFVParameters.security_level
+    selected = list(SECURITY_LEVELS) if levels is None else list(levels)
+    doc = {"schema": SCHEMA_VERSION, "seed": seed}
+    doc.update(run_identity())
+    doc["levels"] = {}
+    for bits in selected:
+        params = params_for(bits)
+        keys = KeyGenerator(params, seed=seed).generate()
+        shapes = {}
+        for name in workloads:
+            if progress is not None:
+                progress(f"{bits}b/{name}")
+            with use_noise_ledger(NoiseLedger()) as ledger:
+                shapes[name] = {
+                    "trajectory": _capture_trajectory(
+                        name, params, keys, seed, ledger
+                    )
+                }
+        doc["levels"][str(bits)] = {
+            "poly_degree": params.poly_degree,
+            "plain_modulus": params.plain_modulus,
+            "workloads": shapes,
+        }
+    return doc
+
+
+# -- persistence ------------------------------------------------------------
+
+
+def _validate_noise_run(doc, source: str) -> dict:
+    if not isinstance(doc, dict):
+        raise ParameterError(
+            f"{source}: noise-run document must be a JSON object"
+        )
+    schema = doc.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ParameterError(
+            f"{source}: unsupported noise schema {schema!r} "
+            f"(this build reads version {SCHEMA_VERSION}); "
+            "re-record with 'repro noise record'"
+        )
+    if not isinstance(doc.get("levels"), dict):
+        raise ParameterError(f"{source}: noise-run document missing 'levels'")
+    return doc
+
+
+def write_noise_run(doc: dict, path) -> None:
+    """Write one noise run (or baseline) as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+def read_noise_run(path) -> dict:
+    """Read and schema-validate a noise run / calibration baseline."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ParameterError(
+            f"no noise baseline at {path}; create one with "
+            "'repro noise record'"
+        )
+    return _validate_noise_run(json.loads(path.read_text()), str(path))
+
+
+def append_noise_history(doc: dict, path) -> None:
+    """Append one noise run to the JSONL history file."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(doc, sort_keys=True) + "\n")
+
+
+def read_noise_history(path) -> list:
+    """All noise runs in the history file, oldest first."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    return [
+        _validate_noise_run(json.loads(line), str(path))
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+# -- the gate ---------------------------------------------------------------
+
+
+def _compare_trajectories(base: list, cur: list) -> list:
+    """Drift notes between a baseline and a current trajectory."""
+    notes = []
+    base_ops = [step["op"] for step in base]
+    cur_ops = [step["op"] for step in cur]
+    if base_ops != cur_ops:
+        notes.append(
+            f"op sequence changed: baseline {base_ops} -> current {cur_ops}"
+        )
+        return notes
+    for i, (b, c) in enumerate(zip(base, cur)):
+        label = f"step {i} ({b['op']})"
+        pred_delta = c["pred_bits"] - b["pred_bits"]
+        if abs(pred_delta) > PRED_TOLERANCE_BITS:
+            notes.append(
+                f"{label}: predicted budget moved {pred_delta:+.6f} bits "
+                f"(baseline {b['pred_bits']:.6f} -> "
+                f"current {c['pred_bits']:.6f}) — the growth model changed"
+            )
+        meas_delta = c["meas_bits"] - b["meas_bits"]
+        if abs(meas_delta) > MEAS_TOLERANCE_BITS:
+            notes.append(
+                f"{label}: measured budget moved {meas_delta:+.3f} bits "
+                f"(baseline {b['meas_bits']:.3f} -> "
+                f"current {c['meas_bits']:.3f}) — the evaluator or "
+                "sampler changed the actual noise"
+            )
+    return notes
+
+
+def _conservatism_notes(trajectory: list) -> list:
+    """Steps where the current prediction over-promises headroom."""
+    notes = []
+    for i, step in enumerate(trajectory):
+        excess = step["pred_bits"] - step["meas_bits"]
+        if excess > CONSERVATISM_MARGIN_BITS:
+            notes.append(
+                f"step {i} ({step['op']}): prediction exceeds measurement "
+                f"by {excess:.2f} bits (pred {step['pred_bits']:.2f}, "
+                f"meas {step['meas_bits']:.2f}) — the estimator is no "
+                "longer conservative"
+            )
+    return notes
+
+
+def check_noise_runs(baseline: dict, current: dict) -> list:
+    """Compare a current noise run against the calibration baseline.
+
+    One :class:`NoiseVerdict` per (level, workload) in the current
+    run. Pairs absent from the baseline are ``new`` (adopt with
+    ``--update``); baseline pairs absent from the current run are not
+    checked (the caller chose a subset of levels).
+    """
+    verdicts = []
+    for bits_str, level in current["levels"].items():
+        bits = int(bits_str)
+        base_level = baseline["levels"].get(bits_str)
+        for name, shape in level["workloads"].items():
+            trajectory = shape["trajectory"]
+            base_shape = (
+                base_level["workloads"].get(name)
+                if base_level is not None
+                else None
+            )
+            if base_shape is None:
+                verdicts.append(
+                    NoiseVerdict(
+                        bits,
+                        name,
+                        VERDICT_NEW,
+                        notes=("not in baseline; adopt with --update",),
+                    )
+                )
+                continue
+            notes = _compare_trajectories(
+                base_shape["trajectory"], trajectory
+            )
+            notes += _conservatism_notes(trajectory)
+            verdicts.append(
+                NoiseVerdict(
+                    bits,
+                    name,
+                    VERDICT_DRIFT if notes else VERDICT_OK,
+                    notes=tuple(notes),
+                )
+            )
+    return verdicts
+
+
+def exit_code(verdicts) -> int:
+    """0 when nothing drifted, 1 otherwise."""
+    return 1 if any(v.failed for v in verdicts) else 0
+
+
+def render_noise_check(verdicts, baseline: dict, current: dict) -> str:
+    """The calibration report as aligned text with a summary footer."""
+    lines = [
+        "noise check — current trajectories vs calibration baseline",
+        f"  baseline: run {str(baseline.get('run_id', '?'))[:12]} "
+        f"({baseline.get('created_at', '?')}, "
+        f"git {str(baseline.get('git_sha'))[:12]})",
+        f"  current:  run {str(current.get('run_id', '?'))[:12]} "
+        f"({current.get('created_at', '?')}, "
+        f"git {str(current.get('git_sha'))[:12]})",
+        "",
+    ]
+    lines.extend(v.describe() for v in verdicts)
+    counts: dict = {}
+    for v in verdicts:
+        counts[v.verdict] = counts.get(v.verdict, 0) + 1
+    lines.append("")
+    lines.append(
+        "summary: "
+        + ", ".join(
+            f"{counts.get(k, 0)} {k}"
+            for k in (VERDICT_OK, VERDICT_NEW, VERDICT_DRIFT)
+        )
+        + f" of {len(verdicts)} trajectories"
+    )
+    if any(v.verdict == VERDICT_DRIFT for v in verdicts):
+        lines.append(
+            "noise trajectories are seeded-deterministic; drift means "
+            "the growth model, evaluator, or sampler changed — "
+            "re-baseline deliberately with 'repro noise check --update'"
+        )
+    return "\n".join(lines)

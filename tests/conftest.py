@@ -67,3 +67,28 @@ def tiny128_ctx(tiny128_params) -> WorkloadContext:
 def rng() -> np.random.Generator:
     """Fresh deterministic generator per test."""
     return np.random.default_rng(0xC0FFEE)
+
+
+#: Tiny stand-ins for the paper security levels: the same modulus
+#: widths (so budget arithmetic stays representative) on small rings.
+#: t = 65537 == 1 (mod 2n) still batches at n = 64/128.
+TINY_LEVELS = {27: (64, 257), 54: (64, 65537), 109: (128, 65537)}
+
+
+@pytest.fixture()
+def tiny_security_levels(monkeypatch):
+    """Patch the paper levels onto tiny rings for fast end-to-end runs.
+
+    Both ``BFVParameters.security_level`` and the workload-context
+    factory cache on the level table, so the caches are cleared going
+    in and out.
+    """
+    from repro.core import params as params_mod
+    from repro.workloads import context as context_mod
+
+    params_mod._level_params.cache_clear()
+    context_mod._cached_context.cache_clear()
+    monkeypatch.setattr(params_mod, "_LEVELS", TINY_LEVELS)
+    yield TINY_LEVELS
+    params_mod._level_params.cache_clear()
+    context_mod._cached_context.cache_clear()

@@ -96,3 +96,77 @@ class TestAnalyticEstimates:
     def test_add_growth_logarithmic(self):
         assert add_noise_growth_bits(1024) == pytest.approx(10.0)
         assert add_noise_growth_bits(1) == 0.0
+
+
+class TestPredictionEnvelope:
+    """Measured budgets stay inside the analytic envelope at the real
+    paper levels (n = 1024/2048/4096) — the property the calibration
+    gate (:mod:`repro.obs.noisegate`) assumes.
+
+    Two directions: the estimate must be *conservative* (never promise
+    more budget than is measured — the direction that turns into
+    silent decryption failures) and must not be uselessly pessimistic
+    (measured within a bounded distance above it).
+    """
+
+    #: Fresh measured budget sits above the worst-case estimate by at
+    #: most this much (empirically ~8-10 bits across the levels).
+    SLACK_BITS = 16.0
+
+    #: The multiply growth bound is worst-case over the ring dimension
+    #: (``log2 n`` of headroom for fully-aligned coefficient growth),
+    #: so one multiplication may fall this much further inside it.
+    MULT_SLACK_BITS = 12.0
+
+    @staticmethod
+    def _context(bits: int):
+        from repro.core.encoder import IntegerEncoder
+        from repro.core.encryptor import SymmetricEncryptor
+        from repro.core.evaluator import Evaluator
+        from repro.core.keys import KeyGenerator
+        from repro.core.params import BFVParameters
+
+        params = BFVParameters.security_level(bits)
+        keys = KeyGenerator(params, seed=3).generate()
+        return (
+            params,
+            keys,
+            SymmetricEncryptor(params, keys.secret_key, seed=4),
+            IntegerEncoder(params),
+            Evaluator(params),
+        )
+
+    @pytest.mark.parametrize("bits", [27, 54, 109])
+    def test_k_additions_within_envelope(self, bits):
+        params, keys, enc, encoder, ev = self._context(bits)
+        k = 4
+        acc = enc.encrypt(encoder.encode(1))
+        for _ in range(k):
+            acc = ev.add(acc, enc.encrypt(encoder.encode(1)))
+        measured = noise_budget(acc, keys.secret_key)
+        predicted = initial_budget_bits(params) - add_noise_growth_bits(
+            k + 1
+        )
+        assert measured >= predicted - 1e-9, (
+            f"{bits}b: estimate no longer conservative after {k} adds"
+        )
+        assert measured <= predicted + self.SLACK_BITS
+
+    @pytest.mark.parametrize("bits", [27, 54, 109])
+    def test_one_multiplication_within_envelope(self, bits):
+        params, keys, enc, encoder, ev = self._context(bits)
+        a = enc.encrypt(encoder.encode(2))
+        b = enc.encrypt(encoder.encode(3))
+        product = ev.multiply(a, b, relinearize=False)
+        measured = noise_budget(product, keys.secret_key)
+        predicted = initial_budget_bits(params) - multiply_noise_growth_bits(
+            params
+        )
+        assert measured >= min(predicted, 0.0) - 1e-9, (
+            f"{bits}b: estimate no longer conservative after multiply"
+        )
+        if predicted > 0:
+            assert (
+                measured
+                <= predicted + self.SLACK_BITS + self.MULT_SLACK_BITS
+            )

@@ -165,3 +165,84 @@ class TestWorkloadCircuits:
     def test_unknown_workload_rejected(self):
         with pytest.raises(ParameterError):
             workload_circuit(object())
+
+
+class TestHeadroomGuard:
+    """The pre-op guard against noise-exhausted operations."""
+
+    @staticmethod
+    def _guarded_evaluator(ctx, margin_bits, strict):
+        from repro.core.evaluator import Evaluator
+        from repro.core.planner import HeadroomGuard
+
+        guard = HeadroomGuard(margin_bits=margin_bits, strict=strict)
+        return (
+            Evaluator(ctx.params, ctx.keys.relin_key, guard=guard),
+            guard,
+        )
+
+    def test_negative_margin_rejected(self):
+        from repro.core.planner import HeadroomGuard
+
+        with pytest.raises(ParameterError):
+            HeadroomGuard(margin_bits=-1.0)
+
+    def test_strict_guard_raises_before_the_op(self, tiny_ctx):
+        from repro.errors import NoiseBudgetExhaustedError
+        from repro.obs.noise import NoiseLedger, use_noise_ledger
+
+        evaluator, guard = self._guarded_evaluator(
+            tiny_ctx, margin_bits=10_000.0, strict=True
+        )
+        with use_noise_ledger(NoiseLedger()):
+            a = tiny_ctx.encrypt_slots([2])
+            b = tiny_ctx.encrypt_slots([3])
+            with pytest.raises(NoiseBudgetExhaustedError, match="multiply"):
+                evaluator.multiply(a, b)
+        assert guard.violations == 1
+
+    def test_lenient_guard_traces_and_counts(self, tiny_ctx):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+        from repro.obs.noise import NoiseLedger, use_noise_ledger
+        from repro.obs.trace import Tracer, use_tracer
+
+        evaluator, guard = self._guarded_evaluator(
+            tiny_ctx, margin_bits=10_000.0, strict=False
+        )
+        tracer, registry = Tracer(), MetricsRegistry()
+        with use_noise_ledger(NoiseLedger()), use_tracer(
+            tracer
+        ), use_registry(registry):
+            a = tiny_ctx.encrypt_slots([2])
+            b = tiny_ctx.encrypt_slots([3])
+            result = evaluator.multiply(a, b)  # proceeds anyway
+        assert tiny_ctx.decrypt_slots(result, 1) == [6]
+        assert guard.violations >= 1
+        events = [s for s in tracer.finished if s.name == "noise.headroom"]
+        assert events and events[0].attrs["op"] == "multiply"
+        snapshot = registry.snapshot()
+        assert snapshot["noise.headroom_violations"]["value"] >= 1
+
+    def test_guard_passes_ops_with_headroom(self, tiny_ctx):
+        from repro.obs.noise import NoiseLedger, use_noise_ledger
+
+        evaluator, guard = self._guarded_evaluator(
+            tiny_ctx, margin_bits=2.0, strict=True
+        )
+        with use_noise_ledger(NoiseLedger()):
+            a = tiny_ctx.encrypt_slots([2])
+            b = tiny_ctx.encrypt_slots([3])
+            result = evaluator.add(a, b)
+        assert guard.violations == 0
+        assert tiny_ctx.decrypt_slots(result, 1) == [5]
+
+    def test_guard_silent_without_a_recording_ledger(self, tiny_ctx):
+        """With the null ledger there are no predictions to act on."""
+        evaluator, guard = self._guarded_evaluator(
+            tiny_ctx, margin_bits=10_000.0, strict=True
+        )
+        a = tiny_ctx.encrypt_slots([2])
+        b = tiny_ctx.encrypt_slots([3])
+        result = evaluator.multiply(a, b)  # no raise
+        assert guard.violations == 0
+        assert tiny_ctx.decrypt_slots(result, 1) == [6]
