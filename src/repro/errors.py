@@ -57,11 +57,92 @@ class DeviceError(ReproError):
 
     Examples: a kernel working set exceeding WRAM, a transfer larger
     than MRAM, or launching more tasklets than the hardware supports.
+
+    Carries optional structured context — the kernel name, the DPU and
+    rank involved, requested/available DPU counts, byte sizes — so a
+    failure deep in a batch run still names the exact resource that was
+    exhausted. ``str()`` renders a consistent one-liner: the message
+    followed by the non-empty context fields in brackets.
     """
+
+    #: Context slots rendered (in this order) by ``__str__``.
+    _CONTEXT_FIELDS = (
+        "kernel",
+        "dpu",
+        "rank",
+        "dpus_requested",
+        "dpus_available",
+        "bytes_needed",
+        "bytes_available",
+        "attempts",
+    )
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: str | None = None,
+        dpu: int | None = None,
+        rank: int | None = None,
+        dpus_requested: int | None = None,
+        dpus_available: int | None = None,
+        bytes_needed: int | None = None,
+        bytes_available: int | None = None,
+        attempts: int | None = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.kernel = kernel
+        self.dpu = dpu
+        self.rank = rank
+        self.dpus_requested = dpus_requested
+        self.dpus_available = dpus_available
+        self.bytes_needed = bytes_needed
+        self.bytes_available = bytes_available
+        self.attempts = attempts
+
+    @property
+    def context(self) -> dict:
+        """The non-empty structured context as a plain dict."""
+        return {
+            name: getattr(self, name)
+            for name in self._CONTEXT_FIELDS
+            if getattr(self, name) is not None
+        }
+
+    def __str__(self) -> str:
+        context = self.context
+        if not context:
+            return self.message
+        detail = ", ".join(f"{k}={v}" for k, v in context.items())
+        return f"{self.message} [{detail}]"
 
 
 class CapacityError(DeviceError):
-    """A buffer allocation exceeded the modelled memory capacity."""
+    """A buffer allocation exceeded the modelled memory capacity.
+
+    Raised with ``bytes_needed`` / ``bytes_available`` context by the
+    kernels' MRAM-fit check (:meth:`repro.pim.kernels.base.Kernel.check_mram_fit`).
+    """
+
+
+class TransientDeviceError(DeviceError):
+    """A fault that a retry may clear: a failed kernel launch, a
+    corrupted host<->DPU transfer, a tasklet stuck past its watchdog.
+
+    The retry machinery in :mod:`repro.pim.faults` absorbs these up to
+    the :class:`~repro.pim.faults.RetryPolicy` budget; only when the
+    budget is exhausted does a :class:`PermanentDeviceError` surface.
+    """
+
+
+class PermanentDeviceError(DeviceError):
+    """A fault that retries cannot clear: the retry budget was exhausted
+    or the fleet has no healthy DPUs left.
+
+    Always carries DPU/rank context naming a deterministic victim, so a
+    degraded-fleet failure is attributable to a specific device.
+    """
 
 
 class ExperimentError(ReproError):

@@ -1,0 +1,200 @@
+"""Chaos harness: replay experiments across a degraded-fleet grid.
+
+``repro faults sweep`` drives :func:`sweep_degraded_fleet`: the fig1 /
+fig2 experiments are re-run under :class:`~repro.pim.faults.FaultPlan`
+instances that fuse off a growing share of the fleet (100% … 80%
+healthy by default), producing one schema-versioned JSON document of
+availability-vs-slowdown points. Two invariants make the sweep a
+regression artifact rather than an anecdote:
+
+* at **100% healthy** the plan is inactive, so the sweep point is
+  produced by the *untouched* pricing path and must equal the
+  committed fault-free baseline (``baselines/perf.json``) exactly —
+  the MODEL-DRIFT gate extended to the chaos harness;
+* everything is **seeded** — the same seed yields a bit-identical
+  document (modulo the run identity), across invocations and machines.
+
+:func:`repro.obs.htmlreport.render_faults_report` renders the document
+as the availability-vs-slowdown HTML card CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ParameterError
+from repro.harness.runner import run_experiment
+from repro.obs.baseline import _series_totals, run_identity
+from repro.pim.config import UPMEMConfig
+from repro.pim.faults import FaultPlan, RetryPolicy, use_fault_plan
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_SWEEP_EXPERIMENTS",
+    "DEFAULT_HEALTHY_GRID",
+    "plan_for_healthy_fraction",
+    "sweep_degraded_fleet",
+    "write_sweep",
+    "read_sweep",
+    "render_sweep_text",
+]
+
+#: Version stamped into every sweep document.
+SCHEMA_VERSION = 1
+
+#: The paper's headline experiments: fig1 microbenchmarks + fig2 workloads.
+DEFAULT_SWEEP_EXPERIMENTS = ("fig1a", "fig1b", "fig2a", "fig2b", "fig2c")
+
+#: Healthy-fleet fractions swept by default (100% … 80%).
+DEFAULT_HEALTHY_GRID = (1.0, 0.95, 0.9, 0.85, 0.8)
+
+#: The series name carrying the PIM backend's modelled time.
+PIM_SERIES = "pim"
+
+
+def plan_for_healthy_fraction(
+    fraction: float, seed: int, config: UPMEMConfig
+) -> FaultPlan:
+    """A plan that fuses off ``(1 - fraction)`` of the fleet by count.
+
+    At ``fraction == 1.0`` the plan disables nothing and is inactive —
+    the pricing model runs its untouched fault-free path.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ParameterError(f"healthy fraction must be in (0, 1]: {fraction}")
+    disable = round(config.n_dpus * (1.0 - fraction))
+    return FaultPlan(seed=seed, disable_dpus=disable)
+
+
+def sweep_degraded_fleet(
+    ids=None,
+    grid=None,
+    seed: int = 0,
+    retry_policy: RetryPolicy | None = None,
+    progress=None,
+) -> dict:
+    """Run experiments across the degraded-fleet grid; one JSON doc.
+
+    For each experiment and healthy fraction the document records the
+    disabled/effective DPU counts, the per-series modelled totals, and
+    the PIM slowdown relative to the experiment's 100%-healthy run.
+    ``progress`` is an optional callable receiving ``(experiment_id,
+    fraction)`` as each cell starts.
+    """
+    config = UPMEMConfig()
+    selected = (
+        list(DEFAULT_SWEEP_EXPERIMENTS) if ids is None else list(ids)
+    )
+    fractions = sorted(
+        set(DEFAULT_HEALTHY_GRID if grid is None else grid), reverse=True
+    )
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ParameterError(
+                f"healthy fraction must be in (0, 1]: {fraction}"
+            )
+
+    experiments: dict = {}
+    for eid in selected:
+        points = []
+        baseline_pim = None
+        for fraction in fractions:
+            if progress is not None:
+                progress(eid, fraction)
+            plan = plan_for_healthy_fraction(fraction, seed, config)
+            with use_fault_plan(plan, retry_policy):
+                rows = run_experiment(eid)
+            totals = _series_totals(rows)
+            pim_total = totals.get(PIM_SERIES)
+            if fraction == 1.0:
+                baseline_pim = pim_total
+            slowdown = None
+            if (
+                pim_total is not None
+                and baseline_pim is not None
+                and baseline_pim > 0
+            ):
+                slowdown = pim_total / baseline_pim
+            points.append(
+                {
+                    "healthy": fraction,
+                    "disabled_dpus": config.n_dpus
+                    - plan.effective_dpus(config),
+                    "effective_dpus": plan.effective_dpus(config),
+                    "series_totals": totals,
+                    "pim_total": pim_total,
+                    "slowdown": slowdown,
+                }
+            )
+        experiments[eid] = {"points": points}
+
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "seed": seed,
+        "grid": fractions,
+        "n_dpus": config.n_dpus,
+    }
+    doc.update(run_identity())
+    doc["experiments"] = experiments
+    return doc
+
+
+# -- persistence ------------------------------------------------------------
+
+
+def _validate_sweep(doc, source: str) -> dict:
+    if not isinstance(doc, dict):
+        raise ParameterError(f"{source}: sweep document must be a JSON object")
+    schema = doc.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ParameterError(
+            f"{source}: unsupported faults-sweep schema {schema!r} "
+            f"(this build reads version {SCHEMA_VERSION}); "
+            "re-record with 'repro faults sweep'"
+        )
+    if not isinstance(doc.get("experiments"), dict):
+        raise ParameterError(f"{source}: sweep document missing 'experiments'")
+    return doc
+
+
+def write_sweep(doc: dict, path) -> None:
+    """Write one sweep document as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+def read_sweep(path) -> dict:
+    """Read and schema-validate a sweep document."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ParameterError(
+            f"no faults sweep at {path}; record one with "
+            "'repro faults sweep -o <file>'"
+        )
+    return _validate_sweep(json.loads(path.read_text()), str(path))
+
+
+def render_sweep_text(doc: dict) -> str:
+    """The sweep as an availability-vs-slowdown text table."""
+    lines = [
+        f"degraded-fleet sweep — seed {doc.get('seed')}, "
+        f"fleet {doc.get('n_dpus')} DPUs"
+    ]
+    for eid, entry in doc["experiments"].items():
+        lines.append(f"\n{eid}:")
+        lines.append(
+            "  healthy   disabled  effective  pim total      slowdown"
+        )
+        for point in entry["points"]:
+            pim = point.get("pim_total")
+            slowdown = point.get("slowdown")
+            lines.append(
+                f"  {point['healthy'] * 100:6.1f}%  "
+                f"{point['disabled_dpus']:8d}  "
+                f"{point['effective_dpus']:9d}  "
+                + (f"{pim:12.4f}  " if pim is not None else f"{'-':>12}  ")
+                + (f"{slowdown:7.4f}x" if slowdown is not None else f"{'-':>8}")
+            )
+    return "\n".join(lines)

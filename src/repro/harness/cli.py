@@ -18,7 +18,11 @@ Subcommands:
 * ``noise record|check|report`` — noise-budget calibration: record
   seeded predicted-vs-measured budget trajectories per security
   level, gate the growth model against them (``NOISE-DRIFT``), and
-  render the budget-vs-depth HTML report.
+  render the budget-vs-depth HTML report;
+* ``faults run|sweep|html`` — the chaos harness: run experiments under
+  a seeded fault plan (disabled DPUs, transient launches, transfer
+  corruption, stuck tasklets), sweep the fig1/fig2 experiments across
+  a degraded-fleet grid, and render the availability-vs-slowdown card.
 
 Installed as both ``repro-experiments`` and the shorter ``repro``.
 
@@ -284,6 +288,90 @@ def _cmd_noise_report(args) -> int:
             hint="repro noise record",
         )
     document = htmlreport.render_noise_report(current, baseline)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_faults_run(args) -> int:
+    """Run experiments under a seeded fault plan (the chaos harness)."""
+    from repro import obs
+    from repro.pim.faults import FaultPlan, RetryPolicy, use_fault_plan
+
+    plan = FaultPlan(
+        seed=args.seed,
+        dpu_fail_rate=args.dpu_fail_rate,
+        transient_rate=args.transient_rate,
+        corruption_rate=args.corrupt_rate,
+        stuck_rate=args.stuck_rate,
+        disable_dpus=args.disable_dpus,
+    )
+    policy = RetryPolicy(max_attempts=args.max_attempts)
+    registry = obs.MetricsRegistry()
+    with use_fault_plan(plan, policy), obs.use_registry(registry):
+        status = _run_and_print(args.ids, args.keep_going)
+    snapshot = registry.snapshot()
+    fault_lines = [
+        f"  {name}: {data['value']}"
+        for name, data in sorted(snapshot.items())
+        if name.startswith(("faults.", "pim.effective_dpus", "pim.disabled"))
+        and data.get("type") in ("counter", "gauge")
+    ]
+    print(
+        f"fault plan: seed {args.seed}, "
+        f"{args.disable_dpus} DPUs disabled by count, rates "
+        f"dpu={args.dpu_fail_rate} transient={args.transient_rate} "
+        f"corrupt={args.corrupt_rate} stuck={args.stuck_rate}, "
+        f"retry budget {args.max_attempts}",
+        file=sys.stderr,
+    )
+    if fault_lines:
+        print("fault telemetry:", file=sys.stderr)
+        for line in fault_lines:
+            print(line, file=sys.stderr)
+    else:
+        print("fault telemetry: no faults fired", file=sys.stderr)
+    return status
+
+
+def _cmd_faults_sweep(args) -> int:
+    """Sweep experiments across a degraded-fleet grid."""
+    from repro.harness import chaos
+    from repro.obs import htmlreport
+
+    def progress(eid, fraction):
+        print(f"  sweeping {eid} at {fraction * 100:.0f}% ...", file=sys.stderr)
+
+    grid = args.healthy or None
+    doc = chaos.sweep_degraded_fleet(
+        args.ids or None, grid=grid, seed=args.seed, progress=progress
+    )
+    print(chaos.render_sweep_text(doc))
+    if args.output:
+        chaos.write_sweep(doc, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(htmlreport.render_faults_report(doc))
+        print(f"wrote HTML card to {args.html}", file=sys.stderr)
+    return 0
+
+
+def _cmd_faults_html(args) -> int:
+    """Render a recorded sweep as the availability-vs-slowdown card."""
+    from repro.errors import ParameterError
+    from repro.harness import chaos
+    from repro.obs import htmlreport
+
+    try:
+        doc = chaos.read_sweep(args.sweep)
+    except ParameterError as exc:
+        return _no_data(str(exc), hint="repro faults sweep -o <file>")
+    document = htmlreport.render_faults_report(doc)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(document)
@@ -715,6 +803,124 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _noise_common(noise_report)
     noise_report.set_defaults(func=_cmd_noise_report)
+
+    faults_parser = sub.add_parser(
+        "faults",
+        help="chaos harness: inject faults, sweep degraded fleets, "
+        "render the availability card",
+        description=(
+            "Deterministic fault injection for the PIM model: run "
+            "experiments under a seeded FaultPlan (disabled DPUs, "
+            "transient launch failures, transfer corruption, stuck "
+            "tasklets), or sweep the fig1/fig2 experiments across a "
+            "degraded-fleet grid. Same seed, same faults, same "
+            "modelled times — see docs/robustness.md."
+        ),
+    )
+    faults_sub = faults_parser.add_subparsers(
+        dest="faults_command", required=True
+    )
+
+    faults_run = faults_sub.add_parser(
+        "run", help="run experiments under a seeded fault plan"
+    )
+    faults_run.add_argument("ids", nargs="+", help="experiment ids")
+    faults_run.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default: 0)"
+    )
+    faults_run.add_argument(
+        "--dpu-fail-rate",
+        type=float,
+        default=0.0,
+        help="probability each DPU is permanently disabled (default: 0)",
+    )
+    faults_run.add_argument(
+        "--transient-rate",
+        type=float,
+        default=0.0,
+        help="probability a kernel launch fails transiently (default: 0)",
+    )
+    faults_run.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=0.0,
+        help="probability a guarded host<->DPU transfer is corrupted "
+        "(default: 0)",
+    )
+    faults_run.add_argument(
+        "--stuck-rate",
+        type=float,
+        default=0.0,
+        help="probability a launch hits a stuck-tasklet timeout "
+        "(default: 0)",
+    )
+    faults_run.add_argument(
+        "--disable-dpus",
+        type=int,
+        default=0,
+        help="fuse off this many hash-ranked DPUs (the paper's "
+        "2,560 -> 2,524 situation; default: 0)",
+    )
+    faults_run.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="launch attempts before PermanentDeviceError (default: 3)",
+    )
+    faults_run.add_argument(
+        "-k",
+        "--keep-going",
+        action="store_true",
+        help="on a per-experiment failure, report it and continue",
+    )
+    faults_run.set_defaults(func=_cmd_faults_run)
+
+    faults_sweep = faults_sub.add_parser(
+        "sweep",
+        help="replay experiments across a degraded-fleet grid "
+        "(100%% ... 80%% healthy)",
+    )
+    faults_sweep.add_argument(
+        "ids",
+        nargs="*",
+        help="experiments to sweep (default: fig1a fig1b fig2a fig2b fig2c)",
+    )
+    faults_sweep.add_argument(
+        "--healthy",
+        type=float,
+        action="append",
+        metavar="FRACTION",
+        help="healthy fraction to include (repeatable; default: "
+        "1.0 0.95 0.9 0.85 0.8)",
+    )
+    faults_sweep.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default: 0)"
+    )
+    faults_sweep.add_argument(
+        "-o", "--output", metavar="FILE", help="write the sweep JSON to FILE"
+    )
+    faults_sweep.add_argument(
+        "--html",
+        metavar="FILE",
+        help="write the availability-vs-slowdown HTML card to FILE",
+    )
+    faults_sweep.set_defaults(func=_cmd_faults_sweep)
+
+    faults_html = faults_sub.add_parser(
+        "html",
+        help="render a recorded sweep as the availability-vs-slowdown card",
+    )
+    faults_html.add_argument(
+        "--sweep",
+        default="faults-sweep.json",
+        metavar="FILE",
+        help="sweep JSON recorded by 'repro faults sweep -o' "
+        "(default: faults-sweep.json)",
+    )
+    faults_html.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    faults_html.set_defaults(func=_cmd_faults_html)
 
     profile_parser = sub.add_parser(
         "profile",

@@ -8,10 +8,29 @@ experiment id named, or keep going and collect failures.
 
 from __future__ import annotations
 
-from repro.errors import ExperimentError
+from repro.errors import (
+    ExperimentError,
+    PermanentDeviceError,
+    TransientDeviceError,
+)
 from repro.harness.experiments import EXPERIMENTS, get_experiment
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
+
+
+def classify_fault(exc: BaseException) -> str | None:
+    """The fault class of an exception, or ``None`` for ordinary errors.
+
+    ``"permanent"`` for exhausted-retry / dead-fleet failures,
+    ``"transient"`` for faults a retry could have cleared (these only
+    escape when raised outside the retry machinery, e.g. by the
+    simulator watchdog).
+    """
+    if isinstance(exc, PermanentDeviceError):
+        return "permanent"
+    if isinstance(exc, TransientDeviceError):
+        return "transient"
+    return None
 
 
 class BatchResults(dict):
@@ -30,20 +49,27 @@ class BatchResults(dict):
         """Collected failures as structured, JSON-able records.
 
         Each record names the experiment *and* what went wrong —
-        ``{"experiment", "error_type", "message", "header"}`` — so
-        batch reporting never reduces a failure to just its id.
-        ``header`` is the one-line form every reporting surface leads
-        with, the experiment id first.
+        ``{"experiment", "error_type", "message", "fault_class",
+        "header"}`` — so batch reporting never reduces a failure to
+        just its id. ``header`` is the one-line form every reporting
+        surface leads with, the experiment id first; fault-injected
+        failures carry their class (``[permanent]`` / ``[transient]``)
+        in it so chaos-run triage can tell a dead fleet from bad luck.
         """
-        return [
-            {
-                "experiment": eid,
-                "error_type": type(exc).__name__,
-                "message": str(exc),
-                "header": f"{eid}: {type(exc).__name__}: {exc}",
-            }
-            for eid, exc in self.failures.items()
-        ]
+        records = []
+        for eid, exc in self.failures.items():
+            fault_class = classify_fault(exc)
+            tag = f"[{fault_class}] " if fault_class else ""
+            records.append(
+                {
+                    "experiment": eid,
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                    "fault_class": fault_class,
+                    "header": f"{eid}: {tag}{type(exc).__name__}: {exc}",
+                }
+            )
+        return records
 
 
 def run_experiment(experiment_id: str) -> list:

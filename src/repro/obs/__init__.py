@@ -67,9 +67,11 @@ from repro.obs.export import (
 )
 from repro.obs.htmlreport import (
     render_dashboard,
+    render_faults_report,
     render_noise_report,
     render_profile_report,
     write_dashboard,
+    write_faults_report,
     write_noise_report,
 )
 from repro.obs.noise import (
@@ -201,4 +203,7 @@ __all__ = [
     "render_noise_check",
     "render_noise_report",
     "write_noise_report",
+    # degraded-fleet sweep card (repro faults)
+    "render_faults_report",
+    "write_faults_report",
 ]

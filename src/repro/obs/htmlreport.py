@@ -21,6 +21,8 @@ __all__ = [
     "render_profile_report",
     "render_noise_report",
     "write_noise_report",
+    "render_faults_report",
+    "write_faults_report",
 ]
 
 _BADGE_COLORS = {
@@ -431,6 +433,128 @@ def write_noise_report(path, current, baseline=None, **kwargs) -> None:
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(render_noise_report(current, baseline, **kwargs))
+
+
+# -- degraded-fleet availability card (repro faults) ------------------------
+
+
+def _slowdown_chart(
+    points, width: int = 320, height: int = 120
+) -> str:
+    """Availability (x, healthy fraction) vs slowdown (y) as inline SVG."""
+    usable = [
+        p
+        for p in points
+        if p.get("slowdown") is not None and p.get("healthy") is not None
+    ]
+    if len(usable) < 2:
+        return '<span class="meta">(need ≥2 grid points for a curve)</span>'
+    pad = 8
+    xs = [p["healthy"] for p in usable]
+    ys = [p["slowdown"] for p in usable]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def coord(p):
+        # Availability decreases left to right: 100% healthy at the left.
+        x = pad + (x_hi - p["healthy"]) / x_span * (width - 2 * pad)
+        y = (
+            height
+            - pad
+            - (p["slowdown"] - y_lo) / y_span * (height - 2 * pad)
+        )
+        return f"{x:.1f},{y:.1f}"
+
+    coords = " ".join(coord(p) for p in usable)
+    title = (
+        f"slowdown {y_lo:.3f}x at {x_hi * 100:.0f}% healthy to "
+        f"{y_hi:.3f}x at {x_lo * 100:.0f}% healthy"
+    )
+    dots = "".join(
+        f'<circle cx="{coord(p).split(",")[0]}" '
+        f'cy="{coord(p).split(",")[1]}" r="2.5" fill="#c62828"/>'
+        for p in usable
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f"<title>{_esc(title)}</title>"
+        f'<polyline points="{coords}" fill="none" stroke="#c62828" '
+        f'stroke-width="1.5"/>{dots}</svg>'
+    )
+
+
+def _faults_card(eid: str, entry: dict) -> str:
+    """One experiment's availability-vs-slowdown card."""
+    points = entry.get("points", [])
+    worst = max(
+        (p.get("slowdown") or 1.0 for p in points), default=1.0
+    )
+    parts = ["<div class='card'>"]
+    parts.append(
+        f"<h2>{_esc(eid)} "
+        f"<span class='meta'>worst slowdown {worst:.3f}x</span></h2>"
+    )
+    parts.append(_slowdown_chart(points))
+    rows = "".join(
+        f"<tr><td>{p['healthy'] * 100:.1f}%</td>"
+        f"<td>{p['disabled_dpus']}</td><td>{p['effective_dpus']}</td>"
+        + (
+            f"<td>{p['pim_total']:,.4f}</td>"
+            if p.get("pim_total") is not None
+            else "<td>-</td>"
+        )
+        + (
+            f"<td>{p['slowdown']:.4f}x</td>"
+            if p.get("slowdown") is not None
+            else "<td>-</td>"
+        )
+        + "</tr>"
+        for p in points
+    )
+    parts.append(
+        "<table><tr><th>healthy</th><th>disabled</th><th>effective "
+        "DPUs</th><th>pim total</th><th>slowdown</th></tr>"
+        f"{rows}</table>"
+    )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def render_faults_report(
+    doc: dict, title: str = "repro degraded-fleet sweep"
+) -> str:
+    """The availability-vs-slowdown card for a recorded faults sweep.
+
+    One card per swept experiment: the PIM slowdown curve across the
+    healthy-fraction grid (100% healthy at the left) plus the full
+    grid table — fleet sizes, modelled totals, slowdowns. Rendered
+    from the JSON document ``repro faults sweep -o`` writes
+    (:func:`repro.harness.chaos.sweep_degraded_fleet`).
+    """
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='meta'>{_identity_line(doc)}"
+        f"<br>seed {_esc(doc.get('seed'))} · fleet "
+        f"{_esc(doc.get('n_dpus'))} DPUs · grid "
+        + ", ".join(f"{f * 100:.0f}%" for f in doc.get("grid", []))
+        + "</p>",
+    ]
+    for eid, entry in doc.get("experiments", {}).items():
+        parts.append(_faults_card(eid, entry))
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_faults_report(path, doc, **kwargs) -> None:
+    """Render and write the degraded-fleet sweep HTML card."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_faults_report(doc, **kwargs))
 
 
 def render_dashboard(

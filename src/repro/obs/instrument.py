@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 
-__all__ = ["traced_time_on"]
+__all__ = ["traced_time_on", "record_fault_metrics"]
 
 #: Workload dataclass fields worth surfacing as span attributes.
 _SHAPE_FIELDS = (
@@ -54,3 +54,35 @@ def traced_time_on(workload, backend) -> float:
     registry.counter(f"workload.{name}.timings").inc()
     registry.histogram("workload.modelled_s").observe(seconds)
     return seconds
+
+
+def record_fault_metrics(registry, report) -> None:
+    """Fold one :class:`~repro.pim.faults.DegradedRunReport` into metrics.
+
+    Called by :meth:`~repro.pim.runtime.PIMRuntime.time_kernel` for
+    every invocation priced under an active fault plan. Counters follow
+    the ``faults.injected.<class>`` / ``faults.retries`` convention;
+    the fleet state lands in ``pim.effective_dpus`` /
+    ``pim.disabled_dpus`` gauges.
+    """
+    if report.retries:
+        registry.counter("faults.retries").inc(report.retries)
+    if report.transient_failures:
+        registry.counter("faults.injected.transient_launch").inc(
+            report.transient_failures
+        )
+    if report.stuck_timeouts:
+        registry.counter("faults.injected.stuck_tasklet").inc(
+            report.stuck_timeouts
+        )
+    if report.corrupted_transfers:
+        registry.counter("faults.injected.transfer_corruption").inc(
+            report.corrupted_transfers
+        )
+    if report.redispatched_units:
+        registry.counter("faults.redispatched_units").inc(
+            report.redispatched_units
+        )
+    registry.gauge("pim.effective_dpus").set(report.effective_dpus)
+    registry.gauge("pim.disabled_dpus").set(report.disabled_dpus)
+    registry.histogram("faults.penalty_s").observe(report.penalty_seconds)

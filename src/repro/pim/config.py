@@ -130,6 +130,24 @@ class UPMEMConfig:
         """System-wide peak: one instruction per DPU per cycle."""
         return self.n_dpus * self.frequency_hz
 
+    @property
+    def n_ranks(self) -> int:
+        """Memory ranks the fleet spans (the last one may be partial).
+
+        The paper's 2,524-DPU system is physically 2,560 DPUs across 40
+        ranks with ~36 faulty DPUs fused off, so a non-round ``n_dpus``
+        still maps onto whole ranks.
+        """
+        return -(-self.n_dpus // self.dpus_per_rank)
+
+    def rank_of(self, dpu: int) -> int:
+        """The rank a DPU id lives on (ids are dense, rank-major)."""
+        if not 0 <= dpu < self.n_dpus:
+            raise ParameterError(
+                f"dpu id must be in [0, {self.n_dpus}): {dpu}"
+            )
+        return dpu // self.dpus_per_rank
+
     def describe(self) -> str:
         """One-line summary used by experiment reports."""
         return (

@@ -40,12 +40,19 @@ from repro.poly.polynomial import Polynomial
 
 @dataclass(frozen=True)
 class DeviceRun:
-    """Record of one device-functional kernel execution."""
+    """Record of one device-functional kernel execution.
+
+    ``faults`` carries the :class:`~repro.pim.faults.DegradedRunReport`
+    of the invocation when a fault plan was active (``None`` on a
+    healthy fleet): effective fleet size, retries absorbed, redispatch
+    overhead.
+    """
 
     kernel_name: str
     n_elements: int
     tally: OpTally
     timing: KernelTiming
+    faults: object = None
 
     @property
     def measured_cycles(self) -> float:
@@ -56,11 +63,24 @@ class DeviceRun:
 
 
 class DeviceEvaluator:
-    """Executes homomorphic device work through the limb kernels."""
+    """Executes homomorphic device work through the limb kernels.
 
-    def __init__(self, params: BFVParameters, runtime: PIMRuntime | None = None):
+    ``retry_policy`` bounds how many times a fault-injected launch is
+    retried before a :class:`~repro.errors.PermanentDeviceError`
+    surfaces; it is installed on the runtime and only consulted while a
+    :class:`~repro.pim.faults.FaultPlan` is active.
+    """
+
+    def __init__(
+        self,
+        params: BFVParameters,
+        runtime: PIMRuntime | None = None,
+        retry_policy=None,
+    ):
         self.params = params
         self.runtime = runtime if runtime is not None else PIMRuntime()
+        if retry_policy is not None:
+            self.runtime.retry_policy = retry_policy
         limbs = params.limbs_per_coefficient
         q = params.coeff_modulus
         self._add_kernel = VecAddKernel(limbs, q)
@@ -94,7 +114,8 @@ class DeviceEvaluator:
                 self._add_kernel, len(elements), work_units=1
             )
             run = DeviceRun(
-                self._add_kernel.name, len(elements), tally, timing
+                self._add_kernel.name, len(elements), tally, timing,
+                faults=timing.faults,
             )
             self._observe(span, run)
         return Ciphertext(self.params, polys), run
@@ -138,7 +159,8 @@ class DeviceEvaluator:
                 self._reduce_kernel, n_elements, work_units=len(cts)
             )
             run = DeviceRun(
-                self._reduce_kernel.name, n_elements, tally, timing
+                self._reduce_kernel.name, n_elements, tally, timing,
+                faults=timing.faults,
             )
             self._observe(span, run)
         return Ciphertext(self.params, sums), run
@@ -169,7 +191,8 @@ class DeviceEvaluator:
                 self._tensor_kernel, len(elements), work_units=1
             )
             run = DeviceRun(
-                self._tensor_kernel.name, len(elements), tally, timing
+                self._tensor_kernel.name, len(elements), tally, timing,
+                faults=timing.faults,
             )
             self._observe(span, run)
         d0 = tuple(o[0] for o in outputs)
@@ -194,6 +217,8 @@ class DeviceEvaluator:
                 "modelled_s": run.timing.total_seconds,
             }
         )
+        if run.faults is not None:
+            span.set_attrs(run.faults.as_attrs())
         registry = get_registry()
         registry.counter(f"device.{run.kernel_name}.executions").inc()
         registry.counter(f"device.{run.kernel_name}.elements").inc(

@@ -1,0 +1,473 @@
+"""Deterministic fault injection and resilience for the PIM model.
+
+The paper's "2,524-DPU" system is really a 2,560-DPU machine with ~36
+faulty DPUs fused off — a degraded fleet is the *normal* operating
+condition of real UPMEM hardware. This module makes that condition (and
+the transient faults that accompany it) a first-class, reproducible
+input to the timing model:
+
+* :class:`FaultPlan` — a seeded, deterministic description of what
+  fails: permanently disabled DPUs/ranks, transient kernel-launch
+  failures, host<->DPU transfer corruption, stuck-tasklet timeouts.
+  Built either from a seed + rates or from an explicit spec (exact DPU
+  ids, a scripted launch-outcome sequence), so both statistical chaos
+  runs and surgical tests are expressible.
+* :class:`RetryPolicy` — bounded retries with exponential backoff in
+  *modelled* time, so resilience overhead shows up in
+  :class:`~repro.pim.runtime.KernelTiming` deterministically.
+* :class:`DegradedRunReport` — what actually happened to one kernel
+  invocation under the plan: effective fleet size, retries, redispatch
+  overhead, load balance across survivors.
+* :func:`redistribute_units` — the redispatch primitive: work units
+  from failed DPUs redistributed over survivors, conserving the total.
+
+Injection is driven by counter-free hashing (SHA-256 over seed, fault
+channel, kernel name, and a per-channel draw index), never by
+:mod:`random` state — so a chaos run with a fixed seed is bit-identical
+across invocations and across processes, and :meth:`FaultPlan.reset`
+replays it exactly.
+
+A plan is installed process-globally with :func:`use_fault_plan`
+(mirroring ``use_tracer`` / ``use_registry``);
+:meth:`~repro.pim.runtime.PIMRuntime.time_kernel` resolves the active
+plan per call, so the default — no plan — leaves the pricing model
+bit-identical to the fault-free build (the MODEL-DRIFT perf gate
+depends on this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ParameterError, PermanentDeviceError
+from repro.pim.config import UPMEMConfig
+from repro.pim.tasklet import split_evenly
+
+__all__ = [
+    "OUTCOME_OK",
+    "OUTCOME_TRANSIENT",
+    "OUTCOME_STUCK",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "FaultPlan",
+    "DegradedRunReport",
+    "redistribute_units",
+    "get_active_plan",
+    "get_active_policy",
+    "set_fault_plan",
+    "use_fault_plan",
+]
+
+#: Scripted launch outcomes (see :attr:`FaultPlan.launch_script`).
+OUTCOME_OK = "ok"
+OUTCOME_TRANSIENT = "transient"
+OUTCOME_STUCK = "stuck"
+
+_LAUNCH_OUTCOMES = (OUTCOME_OK, OUTCOME_TRANSIENT, OUTCOME_STUCK)
+
+
+def _unit_hash(*parts) -> float:
+    """A deterministic draw in ``[0, 1)`` from the given parts.
+
+    SHA-256 over the ``:``-joined string forms; the first 8 bytes read
+    as an unsigned integer scaled to the unit interval. Stable across
+    processes and Python versions — unlike ``random.Random``, whose
+    sequence semantics this layer must not depend on.
+    """
+    digest = hashlib.sha256(
+        ":".join(str(p) for p in parts).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff in modelled time."""
+
+    #: Total launch attempts allowed per invocation (first try + retries).
+    max_attempts: int = 3
+
+    #: Modelled backoff before the first retry, in seconds.
+    backoff_base_s: float = 1e-3
+
+    #: Multiplier applied to the backoff per additional retry.
+    backoff_factor: float = 2.0
+
+    #: Modelled time lost waiting out a stuck tasklet before the
+    #: watchdog fires and the launch is abandoned, in seconds.
+    stuck_timeout_s: float = 50e-3
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ParameterError(
+                f"max_attempts must be >= 1: {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0:
+            raise ParameterError(
+                f"backoff_base_s must be non-negative: {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ParameterError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+        if self.stuck_timeout_s < 0:
+            raise ParameterError(
+                f"stuck_timeout_s must be non-negative: {self.stuck_timeout_s}"
+            )
+
+    def backoff_seconds(self, failures: int) -> float:
+        """Backoff charged before retry number ``failures`` (1-based)."""
+        if failures < 1:
+            raise ParameterError(f"failures must be >= 1: {failures}")
+        return self.backoff_base_s * self.backoff_factor ** (failures - 1)
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1]: {value}")
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic description of what fails and when.
+
+    Two construction styles compose freely:
+
+    * **seed + rates** — ``dpu_fail_rate`` disables each DPU
+      independently; ``transient_rate`` / ``stuck_rate`` /
+      ``corruption_rate`` fire per launch or transfer attempt, drawn
+      from the plan's hash stream;
+    * **explicit spec** — ``disabled_dpus`` / ``disabled_ranks`` name
+      exact casualties, ``disable_dpus`` fuses off a count of
+      hash-ranked DPUs (the paper's 2,560 -> 2,524 situation), and
+      ``launch_script`` / ``transfer_script`` force exact outcome
+      sequences for surgical tests.
+
+    The plan carries per-channel draw counters so repeated launches of
+    the same kernel see fresh draws; :meth:`reset` rewinds them for a
+    bit-identical replay.
+    """
+
+    seed: int = 0
+    dpu_fail_rate: float = 0.0
+    transient_rate: float = 0.0
+    corruption_rate: float = 0.0
+    stuck_rate: float = 0.0
+
+    #: Explicitly disabled DPU ids.
+    disabled_dpus: tuple = ()
+    #: Explicitly disabled ranks (every DPU on them is lost).
+    disabled_ranks: tuple = ()
+    #: Disable this many additional DPUs, chosen by hash rank — the
+    #: deterministic analogue of "36 of the 2,560 DPUs are fused off".
+    disable_dpus: int = 0
+
+    #: Scripted launch outcomes (``"ok"``/``"transient"``/``"stuck"``),
+    #: consumed FIFO across all launches before the rates take over.
+    launch_script: tuple = ()
+    #: Scripted transfer outcomes (``"ok"``/``"corrupt"``), same FIFO
+    #: discipline, consumed per guarded transfer direction.
+    transfer_script: tuple = ()
+
+    _draws: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _launch_cursor: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _transfer_cursor: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self):
+        _check_rate("dpu_fail_rate", self.dpu_fail_rate)
+        _check_rate("transient_rate", self.transient_rate)
+        _check_rate("corruption_rate", self.corruption_rate)
+        _check_rate("stuck_rate", self.stuck_rate)
+        if self.transient_rate + self.stuck_rate > 1.0:
+            raise ParameterError(
+                "transient_rate + stuck_rate cannot exceed 1: "
+                f"{self.transient_rate} + {self.stuck_rate}"
+            )
+        if self.disable_dpus < 0:
+            raise ParameterError(
+                f"disable_dpus must be non-negative: {self.disable_dpus}"
+            )
+        for outcome in self.launch_script:
+            if outcome not in _LAUNCH_OUTCOMES:
+                raise ParameterError(
+                    f"unknown launch outcome {outcome!r}; "
+                    f"expected one of {_LAUNCH_OUTCOMES}"
+                )
+        for outcome in self.transfer_script:
+            if outcome not in (OUTCOME_OK, "corrupt"):
+                raise ParameterError(
+                    f"unknown transfer outcome {outcome!r}; "
+                    "expected 'ok' or 'corrupt'"
+                )
+
+    # -- activity ----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can change anything at all.
+
+        An inactive plan (all rates zero, nothing disabled, no scripts)
+        leaves the pricing model on its untouched fault-free path —
+        the property the 100%-healthy sweep point and the MODEL-DRIFT
+        gate rely on.
+        """
+        return bool(
+            self.dpu_fail_rate
+            or self.transient_rate
+            or self.corruption_rate
+            or self.stuck_rate
+            or self.disabled_dpus
+            or self.disabled_ranks
+            or self.disable_dpus
+            or self.launch_script
+            or self.transfer_script
+        )
+
+    def reset(self) -> None:
+        """Rewind all draw counters and script cursors for a replay."""
+        self._draws.clear()
+        self._launch_cursor = 0
+        self._transfer_cursor = 0
+
+    # -- permanent faults --------------------------------------------------
+
+    def disabled_dpu_ids(self, config: UPMEMConfig) -> frozenset:
+        """The full set of permanently disabled DPU ids under ``config``.
+
+        Union of the explicit ids, every DPU on a disabled rank, the
+        ``disable_dpus`` hash-ranked count, and the per-DPU
+        ``dpu_fail_rate`` draw. Pure function of the plan spec and the
+        config — no draw counters involved, so it is stable for the
+        plan's whole lifetime.
+        """
+        disabled = set()
+        for dpu in self.disabled_dpus:
+            if not 0 <= dpu < config.n_dpus:
+                raise ParameterError(
+                    f"disabled dpu id out of range [0, {config.n_dpus}): {dpu}"
+                )
+            disabled.add(dpu)
+        for rank in self.disabled_ranks:
+            if not 0 <= rank < config.n_ranks:
+                raise ParameterError(
+                    f"disabled rank out of range [0, {config.n_ranks}): {rank}"
+                )
+            first = rank * config.dpus_per_rank
+            disabled.update(
+                range(first, min(first + config.dpus_per_rank, config.n_dpus))
+            )
+        if self.disable_dpus:
+            ranked = sorted(
+                range(config.n_dpus),
+                key=lambda dpu: _unit_hash(self.seed, "disable", dpu),
+            )
+            disabled.update(ranked[: self.disable_dpus])
+        if self.dpu_fail_rate:
+            disabled.update(
+                dpu
+                for dpu in range(config.n_dpus)
+                if _unit_hash(self.seed, "dpu", dpu) < self.dpu_fail_rate
+            )
+        return frozenset(disabled)
+
+    def effective_dpus(self, config: UPMEMConfig) -> int:
+        """Healthy fleet size under this plan."""
+        return config.n_dpus - len(self.disabled_dpu_ids(config))
+
+    # -- transient faults --------------------------------------------------
+
+    def _draw(self, channel: str, key: str) -> float:
+        index = self._draws.get((channel, key), 0)
+        self._draws[(channel, key)] = index + 1
+        return _unit_hash(self.seed, channel, key, index)
+
+    def launch_outcome(self, kernel_name: str) -> str:
+        """Outcome of one kernel-launch attempt.
+
+        Scripted outcomes are consumed first (FIFO across all
+        launches); after the script runs dry the ``stuck_rate`` /
+        ``transient_rate`` bands of a fresh hash draw decide.
+        """
+        if self._launch_cursor < len(self.launch_script):
+            outcome = self.launch_script[self._launch_cursor]
+            self._launch_cursor += 1
+            return outcome
+        if not (self.transient_rate or self.stuck_rate):
+            return OUTCOME_OK
+        draw = self._draw("launch", kernel_name)
+        if draw < self.stuck_rate:
+            return OUTCOME_STUCK
+        if draw < self.stuck_rate + self.transient_rate:
+            return OUTCOME_TRANSIENT
+        return OUTCOME_OK
+
+    def transfer_corrupted(self, kernel_name: str, direction: str) -> bool:
+        """Whether one guarded transfer arrives corrupted."""
+        if self._transfer_cursor < len(self.transfer_script):
+            outcome = self.transfer_script[self._transfer_cursor]
+            self._transfer_cursor += 1
+            return outcome == "corrupt"
+        if not self.corruption_rate:
+            return False
+        return (
+            self._draw("transfer", f"{kernel_name}:{direction}")
+            < self.corruption_rate
+        )
+
+    def victim_dpu(self, config: UPMEMConfig, kernel_name: str) -> int:
+        """A deterministic healthy DPU to blame for an exhausted launch.
+
+        Real SDKs report the failing DPU; the model picks one by hash
+        over the survivors so the error context is stable per seed.
+        """
+        healthy = sorted(
+            set(range(config.n_dpus)) - self.disabled_dpu_ids(config)
+        )
+        if not healthy:
+            raise PermanentDeviceError(
+                "no healthy DPUs left in the fleet",
+                kernel=kernel_name,
+                dpus_available=0,
+            )
+        draw = self._draw("victim", kernel_name)
+        return healthy[int(draw * len(healthy))]
+
+    def scaled(self, **changes) -> "FaultPlan":
+        """A fresh plan with the given fields replaced (counters reset)."""
+        plan = replace(self, **changes)
+        plan.reset()
+        return plan
+
+
+@dataclass(frozen=True)
+class DegradedRunReport:
+    """What the fault layer did to one kernel invocation."""
+
+    kernel_name: str
+    fleet_dpus: int  # configured fleet size
+    disabled_dpus: int  # permanently lost to the plan
+    effective_dpus: int  # fleet_dpus - disabled_dpus
+    dpus_used: int  # survivors actually engaged
+    redispatched_units: int  # work units re-homed from failed DPUs
+    retries: int  # launch retries absorbed
+    transient_failures: int
+    stuck_timeouts: int
+    corrupted_transfers: int
+    backoff_seconds: float  # modelled backoff waiting
+    penalty_seconds: float  # all fault-induced modelled time
+    redispatch_overhead_seconds: float  # degraded vs. full-fleet kernel time
+    load: object = None  # LoadBalance of the surviving distribution
+
+    @property
+    def availability(self) -> float:
+        """Healthy fraction of the configured fleet."""
+        return self.effective_dpus / self.fleet_dpus if self.fleet_dpus else 0.0
+
+    def as_attrs(self) -> dict:
+        """The report as flat span attributes."""
+        attrs = {
+            "faults.kernel": self.kernel_name,
+            "faults.fleet_dpus": self.fleet_dpus,
+            "faults.disabled_dpus": self.disabled_dpus,
+            "faults.effective_dpus": self.effective_dpus,
+            "faults.dpus_used": self.dpus_used,
+            "faults.redispatched_units": self.redispatched_units,
+            "faults.retries": self.retries,
+            "faults.transient_failures": self.transient_failures,
+            "faults.stuck_timeouts": self.stuck_timeouts,
+            "faults.corrupted_transfers": self.corrupted_transfers,
+            "faults.backoff_s": self.backoff_seconds,
+            "faults.penalty_s": self.penalty_seconds,
+            "faults.redispatch_overhead_s": self.redispatch_overhead_seconds,
+        }
+        if self.load is not None:
+            attrs["faults.imbalance"] = self.load.imbalance
+        return attrs
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.kernel_name}: {self.effective_dpus}/{self.fleet_dpus} "
+            f"DPUs healthy",
+            f"{self.dpus_used} engaged",
+        ]
+        if self.redispatched_units:
+            parts.append(f"{self.redispatched_units} units redispatched")
+        if self.retries:
+            parts.append(
+                f"{self.retries} retries "
+                f"({self.transient_failures} transient, "
+                f"{self.stuck_timeouts} stuck)"
+            )
+        if self.corrupted_transfers:
+            parts.append(f"{self.corrupted_transfers} corrupt transfers")
+        parts.append(f"penalty {self.penalty_seconds * 1e3:.3f} ms")
+        return " | ".join(parts)
+
+
+def redistribute_units(work_units: int, healthy_dpus: int) -> list:
+    """Per-DPU work-unit shares after redispatch onto the survivors.
+
+    Work units are indivisible (paper Section 4.3); units originally
+    mapped to failed DPUs are re-homed by splitting the *whole* unit
+    count evenly over ``min(healthy_dpus, work_units)`` engaged
+    survivors. The sum of the returned shares always equals
+    ``work_units`` — redispatch conserves work.
+    """
+    if work_units <= 0:
+        raise ParameterError(f"work_units must be positive: {work_units}")
+    if healthy_dpus <= 0:
+        raise PermanentDeviceError(
+            "cannot redispatch: no healthy DPUs",
+            dpus_requested=work_units,
+            dpus_available=healthy_dpus,
+        )
+    engaged = min(healthy_dpus, work_units)
+    return split_evenly(work_units, engaged)
+
+
+# -- process-global plan (mirrors use_tracer / use_registry) ---------------
+
+_ACTIVE_PLAN: FaultPlan | None = None
+_ACTIVE_POLICY: RetryPolicy | None = None
+
+
+def get_active_plan() -> FaultPlan | None:
+    """The installed fault plan, or ``None`` (the default: no faults)."""
+    return _ACTIVE_PLAN
+
+
+def get_active_policy() -> RetryPolicy | None:
+    """The retry policy installed alongside the plan, if any."""
+    return _ACTIVE_POLICY
+
+
+def set_fault_plan(
+    plan: FaultPlan | None, policy: RetryPolicy | None = None
+) -> tuple:
+    """Install ``plan``/``policy`` globally; returns the previous pair."""
+    global _ACTIVE_PLAN, _ACTIVE_POLICY
+    previous = (_ACTIVE_PLAN, _ACTIVE_POLICY)
+    _ACTIVE_PLAN = plan
+    _ACTIVE_POLICY = policy
+    return previous
+
+
+@contextmanager
+def use_fault_plan(plan: FaultPlan, policy: RetryPolicy | None = None):
+    """Install a fault plan for the duration of a ``with`` block."""
+    previous = set_fault_plan(plan, policy)
+    try:
+        yield plan
+    finally:
+        set_fault_plan(*previous)

@@ -23,7 +23,7 @@ import abc
 
 import numpy as np
 
-from repro.errors import DeviceError, ParameterError
+from repro.errors import CapacityError, ParameterError
 from repro.mpint.cost import OpTally
 from repro.pim.isa import cycles_for_tally
 
@@ -129,13 +129,16 @@ class Kernel(abc.ABC):
     # -- capacity checks ---------------------------------------------------------
 
     def check_mram_fit(self, elements_per_dpu: int, mram_bytes: int) -> None:
-        """Raise :class:`~repro.errors.DeviceError` if a DPU's share of
-        the working set exceeds its MRAM bank."""
+        """Raise :class:`~repro.errors.CapacityError` (a
+        :class:`~repro.errors.DeviceError`) if a DPU's share of the
+        working set exceeds its MRAM bank."""
         need = elements_per_dpu * self.footprint_bytes_per_element()
         if need > mram_bytes:
-            raise DeviceError(
-                f"kernel {self.name!r}: {elements_per_dpu} elements need "
-                f"{need} bytes of MRAM, bank holds {mram_bytes}"
+            raise CapacityError(
+                f"{elements_per_dpu} elements per DPU exceed the MRAM bank",
+                kernel=self.name,
+                bytes_needed=need,
+                bytes_available=mram_bytes,
             )
 
     def __repr__(self) -> str:

@@ -18,13 +18,23 @@ the behaviour Figure 2 reports.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro.errors import DeviceError, ParameterError
+from repro.errors import ParameterError, PermanentDeviceError
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.pim.config import UPMEMConfig
 from repro.pim.dma import dma_cycles
+from repro.pim.faults import (
+    DEFAULT_RETRY_POLICY,
+    OUTCOME_OK,
+    OUTCOME_TRANSIENT,
+    DegradedRunReport,
+    FaultPlan,
+    RetryPolicy,
+    get_active_plan,
+    get_active_policy,
+)
 from repro.pim.kernels.base import Kernel
 from repro.pim.tasklet import effective_tasklets, pipeline_cycles, split_evenly
 from repro.pim.transfer import TransferModel
@@ -56,6 +66,12 @@ class KernelTiming:
     elements_per_dpu: int = 0
     mram_bytes_per_element: int = 0
     output_bytes_per_element: int = 0
+    # Fault-layer accounting (all zero on the fault-free path, which
+    # keeps modelled times — and the MODEL-DRIFT gate — untouched).
+    retries: int = 0
+    fault_seconds: float = 0.0  # backoff + wasted launches + checksums
+    dpus_disabled: int = 0
+    faults: DegradedRunReport | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -64,6 +80,7 @@ class KernelTiming:
             + self.launch_seconds
             + self.host_to_dpu_seconds
             + self.dpu_to_host_seconds
+            + self.fault_seconds
         )
 
     @property
@@ -91,6 +108,13 @@ class KernelTiming:
             parts.append(
                 f"dpu->host {self.dpu_to_host_seconds * 1e3:.3f} ms"
             )
+        if self.retries or self.fault_seconds:
+            parts.append(
+                f"{self.retries} retries, "
+                f"faults {self.fault_seconds * 1e3:.3f} ms"
+            )
+        if self.dpus_disabled:
+            parts.append(f"{self.dpus_disabled} DPUs disabled")
         return " | ".join(parts)
 
     def as_attrs(self) -> dict:
@@ -100,7 +124,7 @@ class KernelTiming:
         carry the complete per-kernel timing story — compute vs. DMA
         cycles, the bound, and the host<->DPU transfer split.
         """
-        return {
+        attrs = {
             "kernel": self.kernel_name,
             "n_elements": self.n_elements,
             "dpus_used": self.dpus_used,
@@ -119,14 +143,28 @@ class KernelTiming:
             "mram_bytes_per_element": self.mram_bytes_per_element,
             "output_bytes_per_element": self.output_bytes_per_element,
         }
+        if self.faults is not None:
+            attrs["retries"] = self.retries
+            attrs["fault_s"] = self.fault_seconds
+            attrs["dpus_disabled"] = self.dpus_disabled
+            attrs.update(self.faults.as_attrs())
+        return attrs
 
 
 @dataclass
 class PIMRuntime:
-    """Times kernels on a modelled UPMEM system."""
+    """Times kernels on a modelled UPMEM system.
+
+    ``retry_policy`` governs how launch faults injected by an active
+    :class:`~repro.pim.faults.FaultPlan` are retried; ``None`` defers
+    to the policy installed with the plan, then to
+    :data:`~repro.pim.faults.DEFAULT_RETRY_POLICY`. With no plan active
+    the policy is never consulted.
+    """
 
     config: UPMEMConfig = field(default_factory=UPMEMConfig)
     tasklets: int = DEFAULT_TASKLETS
+    retry_policy: RetryPolicy | None = None
 
     def __post_init__(self):
         if not 1 <= self.tasklets <= self.config.max_tasklets:
@@ -170,21 +208,33 @@ class PIMRuntime:
         breakdown (:meth:`KernelTiming.as_attrs`) and updates launch /
         bound / DPU-occupancy metrics; with the default null tracer the
         pricing runs bare.
+
+        When a :class:`~repro.pim.faults.FaultPlan` is active
+        (:func:`~repro.pim.faults.use_fault_plan`), the invocation runs
+        on the plan's surviving fleet with retries/backoff priced into
+        the timing and a :class:`~repro.pim.faults.DegradedRunReport`
+        attached; exhausted retries raise
+        :class:`~repro.errors.PermanentDeviceError`. With no plan — the
+        default — this path is bypassed entirely and modelled times are
+        bit-identical to the fault-free build.
         """
+        plan = get_active_plan()
+        if plan is not None and not plan.active:
+            plan = None
         tracer = get_tracer()
         registry = get_registry()
         if not (tracer.enabled or registry.enabled):
-            return self._compute_timing(
+            return self._price(
                 kernel, n_elements, work_units, tasklets, launches,
-                include_transfer,
+                include_transfer, plan,
             )
         with tracer.span(
             f"pim.time_kernel.{kernel.name}",
             attrs={"kernel": kernel.name, "launches": launches},
         ) as span:
-            timing = self._compute_timing(
+            timing = self._price(
                 kernel, n_elements, work_units, tasklets, launches,
-                include_transfer,
+                include_transfer, plan,
             )
             span.set_attrs(timing.as_attrs())
         registry.counter("pim.kernel_launches").inc(launches)
@@ -198,7 +248,37 @@ class PIMRuntime:
         registry.histogram("pim.kernel_modelled_s").observe(
             timing.total_seconds
         )
+        if timing.faults is not None:
+            from repro.obs.instrument import record_fault_metrics
+
+            record_fault_metrics(registry, timing.faults)
         return timing
+
+    def _price(
+        self,
+        kernel: Kernel,
+        n_elements: int,
+        work_units: int | None,
+        tasklets: int | None,
+        launches: int,
+        include_transfer: bool,
+        plan: FaultPlan | None,
+    ) -> KernelTiming:
+        """Route to the pure or the fault-injected pricing path."""
+        if plan is None:
+            return self._compute_timing(
+                kernel, n_elements, work_units, tasklets, launches,
+                include_transfer,
+            )
+        policy = (
+            self.retry_policy
+            or get_active_policy()
+            or DEFAULT_RETRY_POLICY
+        )
+        return self._faulted_timing(
+            kernel, n_elements, work_units, tasklets, launches,
+            include_transfer, plan, policy,
+        )
 
     def _compute_timing(
         self,
@@ -208,8 +288,14 @@ class PIMRuntime:
         tasklets: int | None,
         launches: int,
         include_transfer: bool,
+        available_dpus: int | None = None,
     ) -> KernelTiming:
-        """The pure pricing model behind :meth:`time_kernel`."""
+        """The pure pricing model behind :meth:`time_kernel`.
+
+        ``available_dpus`` caps the engaged fleet below the configured
+        size — the redispatch path of :meth:`_faulted_timing` prices a
+        degraded fleet by pricing the same shape on fewer DPUs.
+        """
         if n_elements <= 0:
             raise ParameterError(f"n_elements must be positive: {n_elements}")
         if launches <= 0:
@@ -223,6 +309,12 @@ class PIMRuntime:
             )
 
         dpus = self.dpus_for(work_units)
+        if available_dpus is not None:
+            if available_dpus <= 0:
+                raise ParameterError(
+                    f"available_dpus must be positive: {available_dpus}"
+                )
+            dpus = min(available_dpus, dpus)
         units_per_dpu = math.ceil(work_units / dpus)
         elements_per_dpu = units_per_dpu * math.ceil(n_elements / work_units)
         kernel.check_mram_fit(elements_per_dpu, self.config.mram_per_dpu_bytes)
@@ -274,6 +366,152 @@ class PIMRuntime:
             output_bytes_per_element=min(
                 _output_bytes(kernel), kernel.mram_bytes_per_element()
             ),
+        )
+
+    def _faulted_timing(
+        self,
+        kernel: Kernel,
+        n_elements: int,
+        work_units: int | None,
+        tasklets: int | None,
+        launches: int,
+        include_transfer: bool,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+    ) -> KernelTiming:
+        """Price one invocation on the plan's degraded, flaky fleet.
+
+        Permanent casualties shrink the fleet (work units redispatched
+        over survivors, priced by :meth:`_compute_timing` with
+        ``available_dpus``); transient launch failures and stuck
+        tasklets cost modelled retry time under ``policy``; corrupted
+        transfers cost checksums and retransmits. Every cost lands in
+        ``fault_seconds`` or ``kernel_seconds`` deterministically, and
+        the full story is attached as a
+        :class:`~repro.pim.faults.DegradedRunReport`.
+        """
+        disabled = plan.disabled_dpu_ids(self.config)
+        effective = self.config.n_dpus - len(disabled)
+        if effective <= 0:
+            raise PermanentDeviceError(
+                "every DPU in the fleet is disabled by the fault plan",
+                kernel=kernel.name,
+                dpus_requested=self.config.n_dpus,
+                dpus_available=0,
+            )
+        base = self._compute_timing(
+            kernel, n_elements, work_units, tasklets, launches,
+            include_transfer, available_dpus=effective,
+        )
+
+        # Redispatch accounting: units that lived on now-missing DPUs,
+        # and the kernel-time overhead versus the full healthy fleet.
+        redispatched = 0
+        redispatch_overhead = 0.0
+        full_dpus = self.dpus_for(base.work_units)
+        if disabled and base.dpus_used < full_dpus:
+            healthy = self._compute_timing(
+                kernel, n_elements, work_units, tasklets, launches,
+                include_transfer,
+            )
+            redispatch_overhead = base.kernel_seconds - healthy.kernel_seconds
+            full_shares = split_evenly(base.work_units, full_dpus)
+            redispatched = sum(full_shares[base.dpus_used :])
+
+        # The survivors' per-DPU load, via the profiler's load model.
+        from repro.obs.profile import LoadBalance
+
+        load = LoadBalance.from_distribution(
+            n_elements, base.work_units, base.dpus_used, self.config
+        )
+
+        retries = transient = stuck = 0
+        backoff_total = 0.0
+        penalty = 0.0
+        for _round in range(launches):
+            failures = 0
+            while True:
+                outcome = plan.launch_outcome(kernel.name)
+                if outcome == OUTCOME_OK:
+                    break
+                failures += 1
+                if outcome == OUTCOME_TRANSIENT:
+                    transient += 1
+                    penalty += self.config.launch_overhead_s
+                else:
+                    stuck += 1
+                    penalty += policy.stuck_timeout_s
+                if failures >= policy.max_attempts:
+                    dpu = plan.victim_dpu(self.config, kernel.name)
+                    raise PermanentDeviceError(
+                        f"kernel launch failed {failures} times, "
+                        f"exhausting the retry budget",
+                        kernel=kernel.name,
+                        dpu=dpu,
+                        rank=self.config.rank_of(dpu),
+                        attempts=failures,
+                        dpus_available=effective,
+                    )
+                backoff = policy.backoff_seconds(failures)
+                backoff_total += backoff
+                penalty += backoff
+                retries += 1
+
+        corrupted = 0
+        armed = bool(plan.corruption_rate or plan.transfer_script)
+        if include_transfer and armed:
+            total_bytes = n_elements * kernel.mram_bytes_per_element()
+            output_bytes = n_elements * _output_bytes(kernel)
+            input_bytes = max(total_bytes - output_bytes, 0)
+            directions = (
+                ("host_to_dpu", input_bytes, base.host_to_dpu_seconds),
+                ("dpu_to_host", output_bytes, base.dpu_to_host_seconds),
+            )
+            for direction, n_bytes, seconds in directions:
+                if n_bytes == 0:
+                    continue
+                penalty += self.transfer.checksum_seconds(n_bytes)
+                failures = 0
+                while plan.transfer_corrupted(kernel.name, direction):
+                    failures += 1
+                    corrupted += 1
+                    if failures >= policy.max_attempts:
+                        raise PermanentDeviceError(
+                            f"{direction} transfer stayed corrupted for "
+                            f"{failures} attempts, exhausting the retry "
+                            f"budget",
+                            kernel=kernel.name,
+                            attempts=failures,
+                            bytes_needed=n_bytes,
+                        )
+                    # Retransmit: the transfer again, plus its checksum.
+                    penalty += seconds + self.transfer.checksum_seconds(
+                        n_bytes
+                    )
+                    retries += 1
+
+        report = DegradedRunReport(
+            kernel_name=kernel.name,
+            fleet_dpus=self.config.n_dpus,
+            disabled_dpus=len(disabled),
+            effective_dpus=effective,
+            dpus_used=base.dpus_used,
+            redispatched_units=redispatched,
+            retries=retries,
+            transient_failures=transient,
+            stuck_timeouts=stuck,
+            corrupted_transfers=corrupted,
+            backoff_seconds=backoff_total,
+            penalty_seconds=penalty,
+            redispatch_overhead_seconds=redispatch_overhead,
+            load=load,
+        )
+        return replace(
+            base,
+            retries=retries,
+            fault_seconds=penalty,
+            dpus_disabled=len(disabled),
+            faults=report,
         )
 
 

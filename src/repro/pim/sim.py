@@ -413,12 +413,23 @@ class DPUSimulator:
     def __init__(self, config: UPMEMConfig | None = None):
         self.config = config if config is not None else UPMEMConfig()
 
-    def run(self, programs, trace: SimTrace | None = None) -> SimResult:
+    def run(
+        self,
+        programs,
+        trace: SimTrace | None = None,
+        max_cycles: int | None = None,
+    ) -> SimResult:
         """Simulate the given tasklet programs to completion.
 
         Pass a :class:`SimTrace` to record per-cycle dispatcher and DMA
         activity; tracing is off by default and does not change the
         simulated outcome.
+
+        ``max_cycles`` arms a watchdog: if the simulated clock passes
+        it before every tasklet finishes, the run aborts with a
+        :class:`~repro.errors.TransientDeviceError` — the cycle-level
+        analogue of the stuck-tasklet timeout the fault layer
+        (:mod:`repro.pim.faults`) models analytically.
         """
         programs = list(programs)
         if not programs:
@@ -427,6 +438,10 @@ class DPUSimulator:
             raise ParameterError(
                 f"{len(programs)} tasklets exceed the hardware maximum "
                 f"{self.config.max_tasklets}"
+            )
+        if max_cycles is not None and max_cycles <= 0:
+            raise ParameterError(
+                f"max_cycles must be positive: {max_cycles}"
             )
         revolve = self.config.pipeline_revolve_cycles
 
@@ -442,6 +457,16 @@ class DPUSimulator:
             )
 
         while any(not s.done for s in states):
+            if max_cycles is not None and clock > max_cycles:
+                from repro.errors import TransientDeviceError
+
+                stuck = [i for i, s in enumerate(states) if not s.done]
+                raise TransientDeviceError(
+                    f"watchdog: {len(stuck)} tasklet(s) still running "
+                    f"past {max_cycles} cycles (first stuck: tasklet "
+                    f"{stuck[0]})",
+                    attempts=1,
+                )
             # Find ready tasklets: in a compute phase, revolve satisfied,
             # not blocked on DMA.
             ready = [

@@ -39,6 +39,13 @@ class TransferModel:
     #: ranks scales from there up to the aggregate peak.
     single_dpu_bandwidth_bytes_per_s: float = 0.3e9
 
+    #: Host-side checksum throughput used by the fault-injection layer
+    #: to *detect* transfer corruption. A simple CRC over the staged
+    #: buffer runs at memory-bandwidth-ish speed on one core; 10 GB/s
+    #: is conservative for modern hardware. Only charged while a
+    #: corruption-armed :class:`~repro.pim.faults.FaultPlan` is active.
+    checksum_bandwidth_bytes_per_s: float = 10e9
+
     def _effective_bandwidth(self, peak: float, dpus_used: int) -> float:
         if not 1 <= dpus_used <= self.config.n_dpus:
             raise ParameterError(
@@ -68,6 +75,18 @@ class TransferModel:
             self.config.dpu_to_host_bandwidth_bytes_per_s, dpus_used
         )
         return self.per_transfer_overhead_s + total_bytes / bandwidth
+
+    def checksum_seconds(self, total_bytes: int) -> float:
+        """Time to checksum ``total_bytes`` on the host.
+
+        The corruption detector of :mod:`repro.pim.faults`: every
+        guarded transfer pays one pass over the buffer, and a detected
+        mismatch triggers a retransmit priced by the ordinary transfer
+        model.
+        """
+        if total_bytes < 0:
+            raise ParameterError(f"total_bytes must be non-negative: {total_bytes}")
+        return total_bytes / self.checksum_bandwidth_bytes_per_s
 
     def broadcast_seconds(self, bytes_per_dpu: int, dpus_used: int) -> float:
         """Time to broadcast the same buffer to every engaged DPU.

@@ -72,6 +72,7 @@ class TestKeepGoing:
                 "experiment": "broken",
                 "error_type": "ValueError",
                 "message": "synthetic failure",
+                "fault_class": None,
                 "header": "broken: ValueError: synthetic failure",
             }
         ]
@@ -89,6 +90,67 @@ class TestKeepGoing:
 
     def test_failure_records_empty_without_failures(self):
         assert run_all(["fig1a"]).failure_records() == []
+
+
+class TestFaultClassification:
+    """Fault-injected failures carry their class in --keep-going records."""
+
+    @pytest.fixture()
+    def faulty_experiment(self, monkeypatch):
+        def make(exc):
+            def explode():
+                raise exc
+
+            experiment = Experiment(
+                id="faulty",
+                title="Device fault",
+                paper_ref="none",
+                description="test-only device-fault experiment",
+                unit="ms",
+                runner=explode,
+            )
+            patched = dict(EXPERIMENTS)
+            patched["faulty"] = experiment
+            monkeypatch.setattr(
+                "repro.harness.experiments.EXPERIMENTS", patched
+            )
+            monkeypatch.setattr("repro.harness.runner.EXPERIMENTS", patched)
+
+        return make
+
+    def test_classify_fault_buckets(self):
+        from repro.errors import (
+            DeviceError,
+            PermanentDeviceError,
+            TransientDeviceError,
+        )
+        from repro.harness.runner import classify_fault
+
+        assert classify_fault(PermanentDeviceError("dead")) == "permanent"
+        assert classify_fault(TransientDeviceError("blip")) == "transient"
+        assert classify_fault(DeviceError("plain")) is None
+        assert classify_fault(ValueError("nope")) is None
+
+    def test_permanent_fault_tagged_in_header(self, faulty_experiment):
+        from repro.errors import PermanentDeviceError
+
+        faulty_experiment(
+            PermanentDeviceError("retry budget exhausted", dpu=7, rank=0)
+        )
+        results = run_all(["faulty"], keep_going=True)
+        (record,) = results.failure_records()
+        assert record["fault_class"] == "permanent"
+        assert record["header"].startswith("faulty: [permanent] ")
+        assert "dpu=7" in record["header"]
+
+    def test_transient_fault_tagged_in_header(self, faulty_experiment):
+        from repro.errors import TransientDeviceError
+
+        faulty_experiment(TransientDeviceError("watchdog fired", attempts=1))
+        results = run_all(["faulty"], keep_going=True)
+        (record,) = results.failure_records()
+        assert record["fault_class"] == "transient"
+        assert record["header"].startswith("faulty: [transient] ")
 
 
 class TestTraceExperiment:

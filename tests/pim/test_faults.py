@@ -1,0 +1,543 @@
+"""Fault injection, retry/redispatch, degraded-fleet timing."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    DeviceError,
+    ParameterError,
+    PermanentDeviceError,
+    TransientDeviceError,
+)
+from repro.pim.config import UPMEMConfig
+from repro.pim.faults import (
+    DEFAULT_RETRY_POLICY,
+    OUTCOME_OK,
+    OUTCOME_STUCK,
+    OUTCOME_TRANSIENT,
+    FaultPlan,
+    RetryPolicy,
+    _unit_hash,
+    get_active_plan,
+    get_active_policy,
+    redistribute_units,
+    set_fault_plan,
+    use_fault_plan,
+)
+from repro.pim.kernels import VecAddKernel
+from repro.pim.runtime import PIMRuntime
+
+#: The paper's physical machine: 2,560 DPUs over 40 ranks.
+PHYSICAL = UPMEMConfig(n_dpus=2560)
+
+
+def make_runtime(**config_changes) -> PIMRuntime:
+    return PIMRuntime(config=UPMEMConfig(**config_changes))
+
+
+class TestUnitHash:
+    def test_deterministic_and_in_unit_interval(self):
+        values = {_unit_hash(7, "launch", "vec_add", i) for i in range(64)}
+        assert len(values) == 64  # distinct draws per index
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert _unit_hash(7, "x") == _unit_hash(7, "x")
+
+    def test_seed_changes_the_stream(self):
+        assert _unit_hash(1, "dpu", 5) != _unit_hash(2, "dpu", 5)
+
+
+class TestRetryPolicy:
+    def test_defaults_are_sane(self):
+        assert DEFAULT_RETRY_POLICY.max_attempts == 3
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base_s=1e-3, backoff_factor=2.0)
+        assert policy.backoff_seconds(1) == pytest.approx(1e-3)
+        assert policy.backoff_seconds(3) == pytest.approx(4e-3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"stuck_timeout_s": -1e-3},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ParameterError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_rejects_zero_failures(self):
+        with pytest.raises(ParameterError):
+            DEFAULT_RETRY_POLICY.backoff_seconds(0)
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dpu_fail_rate": 1.5},
+            {"transient_rate": -0.1},
+            {"transient_rate": 0.7, "stuck_rate": 0.7},
+            {"disable_dpus": -1},
+            {"launch_script": ("ok", "explode")},
+            {"transfer_script": ("garbled",)},
+        ],
+    )
+    def test_rejects_bad_spec(self, kwargs):
+        with pytest.raises(ParameterError):
+            FaultPlan(**kwargs)
+
+    def test_default_plan_is_inactive(self):
+        assert not FaultPlan().active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dpu_fail_rate": 0.1},
+            {"transient_rate": 0.1},
+            {"corruption_rate": 0.1},
+            {"stuck_rate": 0.1},
+            {"disabled_dpus": (3,)},
+            {"disabled_ranks": (0,)},
+            {"disable_dpus": 36},
+            {"launch_script": ("transient",)},
+            {"transfer_script": ("corrupt",)},
+        ],
+    )
+    def test_any_fault_source_makes_it_active(self, kwargs):
+        assert FaultPlan(**kwargs).active
+
+
+class TestDisabledDPUs:
+    def test_explicit_ids_and_ranks_union(self):
+        plan = FaultPlan(disabled_dpus=(0, 1, 64), disabled_ranks=(1,))
+        disabled = plan.disabled_dpu_ids(PHYSICAL)
+        # Rank 1 spans DPUs 64..127; DPU 64 is not double-counted.
+        assert disabled == frozenset({0, 1} | set(range(64, 128)))
+        assert plan.effective_dpus(PHYSICAL) == 2560 - 66
+
+    def test_paper_fleet_2560_minus_36_is_2524(self):
+        plan = FaultPlan(seed=5, disable_dpus=36)
+        assert plan.effective_dpus(PHYSICAL) == 2524
+
+    def test_count_disable_is_seeded_and_stable(self):
+        a = FaultPlan(seed=5, disable_dpus=36).disabled_dpu_ids(PHYSICAL)
+        b = FaultPlan(seed=5, disable_dpus=36).disabled_dpu_ids(PHYSICAL)
+        c = FaultPlan(seed=6, disable_dpus=36).disabled_dpu_ids(PHYSICAL)
+        assert a == b
+        assert a != c
+
+    def test_rate_disables_roughly_that_fraction(self):
+        plan = FaultPlan(seed=1, dpu_fail_rate=0.1)
+        lost = len(plan.disabled_dpu_ids(PHYSICAL))
+        assert 0.05 * 2560 < lost < 0.15 * 2560
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"disabled_dpus": (2560,)}, {"disabled_ranks": (40,)}],
+    )
+    def test_out_of_range_spec_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            FaultPlan(**kwargs).disabled_dpu_ids(PHYSICAL)
+
+
+class TestLaunchOutcomes:
+    def test_script_consumed_fifo_then_rates(self):
+        plan = FaultPlan(launch_script=("transient", "stuck", "ok"))
+        assert plan.launch_outcome("k") == OUTCOME_TRANSIENT
+        assert plan.launch_outcome("k") == OUTCOME_STUCK
+        assert plan.launch_outcome("k") == OUTCOME_OK
+        # Script exhausted, no rates: always ok from here.
+        assert plan.launch_outcome("k") == OUTCOME_OK
+
+    def test_rate_one_always_fails(self):
+        plan = FaultPlan(transient_rate=1.0)
+        assert all(
+            plan.launch_outcome("k") == OUTCOME_TRANSIENT for _ in range(5)
+        )
+
+    def test_repeated_draws_advance_the_stream(self):
+        plan = FaultPlan(seed=3, transient_rate=0.5)
+        outcomes = [plan.launch_outcome("vec_add") for _ in range(32)]
+        assert OUTCOME_TRANSIENT in outcomes and OUTCOME_OK in outcomes
+
+    def test_reset_replays_bit_identically(self):
+        plan = FaultPlan(seed=9, transient_rate=0.4, stuck_rate=0.2)
+        first = [plan.launch_outcome("vec_add") for _ in range(20)]
+        plan.reset()
+        assert [plan.launch_outcome("vec_add") for _ in range(20)] == first
+
+    def test_victim_dpu_is_healthy_and_deterministic(self):
+        plan = FaultPlan(seed=2, disable_dpus=100)
+        disabled = plan.disabled_dpu_ids(PHYSICAL)
+        victim = plan.victim_dpu(PHYSICAL, "vec_add")
+        assert victim not in disabled
+        assert 0 <= victim < PHYSICAL.n_dpus
+        replay = plan.scaled()
+        assert replay.victim_dpu(PHYSICAL, "vec_add") == victim
+
+    def test_scaled_copy_does_not_share_counters(self):
+        plan = FaultPlan(seed=9, transient_rate=0.4)
+        plan.launch_outcome("k")
+        copy = plan.scaled(transient_rate=0.5)
+        assert copy._draws == {}  # fresh counters, not the original's
+        before = dict(plan._draws)
+        copy.launch_outcome("k")
+        copy.launch_outcome("k")
+        assert plan._draws == before  # the original never sees them
+
+
+class TestRedistributeUnits:
+    def test_conserves_and_balances(self):
+        shares = redistribute_units(100, 30)
+        assert sum(shares) == 100
+        assert max(shares) - min(shares) <= 1
+        assert len(shares) == 30
+
+    def test_engages_at_most_one_dpu_per_unit(self):
+        assert redistribute_units(5, 100) == [1, 1, 1, 1, 1]
+
+    def test_no_survivors_is_permanent(self):
+        with pytest.raises(PermanentDeviceError):
+            redistribute_units(10, 0)
+
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(ParameterError):
+            redistribute_units(0, 4)
+
+
+class TestActivePlanPlumbing:
+    def test_default_is_no_plan(self):
+        assert get_active_plan() is None
+        assert get_active_policy() is None
+
+    def test_use_fault_plan_restores_previous(self):
+        outer = FaultPlan(disable_dpus=1)
+        policy = RetryPolicy(max_attempts=5)
+        with use_fault_plan(outer):
+            with use_fault_plan(FaultPlan(disable_dpus=2), policy):
+                assert get_active_plan().disable_dpus == 2
+                assert get_active_policy() is policy
+            assert get_active_plan() is outer
+            assert get_active_policy() is None
+        assert get_active_plan() is None
+
+    def test_set_fault_plan_returns_previous_pair(self):
+        plan = FaultPlan(disable_dpus=1)
+        assert set_fault_plan(plan) == (None, None)
+        try:
+            assert get_active_plan() is plan
+        finally:
+            assert set_fault_plan(None) == (plan, None)
+
+
+class TestDegradedTiming:
+    """The acceptance path: 2,560 - 36 = 2,524, and slower when saturated."""
+
+    def test_disabled_fleet_shrinks_engagement(self):
+        runtime = make_runtime(n_dpus=2560)
+        kernel = VecAddKernel(2)
+        plan = FaultPlan(seed=11, disable_dpus=36)
+        with use_fault_plan(plan):
+            timing = runtime.time_kernel(kernel, 256_000)
+        assert timing.dpus_disabled == 36
+        assert timing.faults.effective_dpus == 2524
+        assert timing.dpus_used == 2524
+        assert timing.faults.redispatched_units > 0
+
+    def test_saturating_kernel_slower_on_degraded_fleet(self):
+        """36 lost DPUs make a fleet-saturating kernel measurably
+        slower: the survivors carry the redispatched units."""
+        runtime = make_runtime(n_dpus=2560)
+        kernel = VecAddKernel(2)
+        healthy = runtime.time_kernel(kernel, 256_000)
+        with use_fault_plan(FaultPlan(seed=11, disable_dpus=36)):
+            degraded = runtime.time_kernel(kernel, 256_000)
+        assert degraded.kernel_seconds > healthy.kernel_seconds
+        assert degraded.total_seconds > healthy.total_seconds
+        assert degraded.faults.redispatch_overhead_seconds == pytest.approx(
+            degraded.kernel_seconds - healthy.kernel_seconds
+        )
+
+    def test_unsaturated_kernel_unaffected_by_disables(self):
+        """A 100-unit workload never touches the lost DPUs: identical
+        kernel time, zero redispatch, only the report differs."""
+        runtime = make_runtime(n_dpus=2560)
+        kernel = VecAddKernel(2)
+        healthy = runtime.time_kernel(kernel, 100)
+        with use_fault_plan(FaultPlan(seed=11, disable_dpus=36)):
+            degraded = runtime.time_kernel(kernel, 100)
+        assert degraded.kernel_seconds == healthy.kernel_seconds
+        assert degraded.total_seconds == healthy.total_seconds
+        assert degraded.faults.redispatched_units == 0
+
+    def test_inactive_plan_prices_bit_identically(self):
+        runtime = make_runtime()
+        kernel = VecAddKernel(2)
+        bare = runtime.time_kernel(kernel, 4096, include_transfer=True)
+        with use_fault_plan(FaultPlan()):
+            under_plan = runtime.time_kernel(
+                kernel, 4096, include_transfer=True
+            )
+        assert under_plan == bare
+        assert under_plan.faults is None
+
+    def test_disable_only_plan_adds_no_fault_time(self):
+        """Permanent disables change *kernel* time via redispatch, never
+        inject penalty seconds — checksums stay unarmed."""
+        runtime = make_runtime(n_dpus=2560)
+        with use_fault_plan(FaultPlan(seed=1, disable_dpus=36)):
+            timing = runtime.time_kernel(
+                VecAddKernel(2), 256_000, include_transfer=True
+            )
+        assert timing.fault_seconds == 0.0
+        assert timing.retries == 0
+
+    def test_all_dpus_disabled_is_permanent(self):
+        runtime = make_runtime(n_dpus=4)
+        with use_fault_plan(FaultPlan(disabled_dpus=(0, 1, 2, 3))):
+            with pytest.raises(PermanentDeviceError, match="every DPU"):
+                runtime.time_kernel(VecAddKernel(2), 64)
+
+
+class TestTransientRetries:
+    def test_below_budget_never_surfaces(self):
+        """One scripted transient failure: absorbed, priced, reported —
+        the caller still gets a timing."""
+        runtime = make_runtime()
+        plan = FaultPlan(launch_script=("transient", "ok"))
+        with use_fault_plan(plan):
+            timing = runtime.time_kernel(VecAddKernel(2), 4096)
+        assert timing.retries == 1
+        assert timing.faults.transient_failures == 1
+        expected = (
+            runtime.config.launch_overhead_s
+            + DEFAULT_RETRY_POLICY.backoff_seconds(1)
+        )
+        assert timing.fault_seconds == pytest.approx(expected)
+        assert timing.faults.backoff_seconds == pytest.approx(
+            DEFAULT_RETRY_POLICY.backoff_seconds(1)
+        )
+
+    def test_fault_time_lands_in_total(self):
+        runtime = make_runtime()
+        bare = runtime.time_kernel(VecAddKernel(2), 4096)
+        with use_fault_plan(FaultPlan(launch_script=("transient", "ok"))):
+            faulted = runtime.time_kernel(VecAddKernel(2), 4096)
+        assert faulted.total_seconds == pytest.approx(
+            bare.total_seconds + faulted.fault_seconds
+        )
+
+    def test_stuck_launch_costs_the_watchdog_timeout(self):
+        runtime = make_runtime()
+        policy = RetryPolicy(stuck_timeout_s=0.25, backoff_base_s=0.0)
+        with use_fault_plan(FaultPlan(launch_script=("stuck", "ok")), policy):
+            timing = runtime.time_kernel(VecAddKernel(2), 4096)
+        assert timing.faults.stuck_timeouts == 1
+        assert timing.fault_seconds == pytest.approx(0.25)
+
+    def test_exhausted_budget_is_permanent_with_context(self):
+        runtime = make_runtime()
+        with use_fault_plan(FaultPlan(transient_rate=1.0)):
+            with pytest.raises(PermanentDeviceError) as excinfo:
+                runtime.time_kernel(VecAddKernel(2), 4096)
+        exc = excinfo.value
+        assert exc.context["attempts"] == DEFAULT_RETRY_POLICY.max_attempts
+        assert 0 <= exc.context["dpu"] < runtime.config.n_dpus
+        assert exc.context["rank"] == runtime.config.rank_of(
+            exc.context["dpu"]
+        )
+        assert "kernel=vec_add" in str(exc)
+
+    def test_runtime_policy_overrides_installed_one(self):
+        runtime = make_runtime()
+        runtime.retry_policy = RetryPolicy(max_attempts=1)
+        loose = RetryPolicy(max_attempts=10)
+        with use_fault_plan(FaultPlan(launch_script=("transient",)), loose):
+            with pytest.raises(PermanentDeviceError):
+                runtime.time_kernel(VecAddKernel(2), 4096)
+
+    def test_replay_is_bit_identical(self):
+        runtime = make_runtime()
+        plan = FaultPlan(seed=13, transient_rate=0.3)
+        with use_fault_plan(plan):
+            first = [
+                runtime.time_kernel(VecAddKernel(2), 4096) for _ in range(8)
+            ]
+        plan.reset()
+        with use_fault_plan(plan):
+            second = [
+                runtime.time_kernel(VecAddKernel(2), 4096) for _ in range(8)
+            ]
+        assert first == second
+
+
+class TestTransferCorruption:
+    def test_corruption_costs_checksum_and_retransmit(self):
+        runtime = make_runtime()
+        kernel = VecAddKernel(2)
+        clean = runtime.time_kernel(kernel, 4096, include_transfer=True)
+        plan = FaultPlan(transfer_script=("corrupt", "ok", "ok"))
+        with use_fault_plan(plan):
+            timing = runtime.time_kernel(kernel, 4096, include_transfer=True)
+        assert timing.faults.corrupted_transfers == 1
+        assert timing.retries == 1
+        # Both directions are checksummed; the corrupted one also pays
+        # a retransmit (the transfer again) plus its re-checksum.
+        total = 4096 * kernel.mram_bytes_per_element()
+        out = 4096 * 4 * kernel.limbs
+        checksums = runtime.transfer.checksum_seconds(
+            total - out
+        ) + runtime.transfer.checksum_seconds(out)
+        retransmit = clean.host_to_dpu_seconds + (
+            runtime.transfer.checksum_seconds(total - out)
+        )
+        assert timing.fault_seconds == pytest.approx(checksums + retransmit)
+
+    def test_persistent_corruption_exhausts_with_bytes_context(self):
+        runtime = make_runtime()
+        with use_fault_plan(FaultPlan(corruption_rate=1.0)):
+            with pytest.raises(PermanentDeviceError) as excinfo:
+                runtime.time_kernel(
+                    VecAddKernel(2), 4096, include_transfer=True
+                )
+        assert excinfo.value.context["bytes_needed"] > 0
+
+    def test_corruption_irrelevant_without_transfers(self):
+        """PIM-resident data never crosses the bus: corruption plans
+        cost nothing when include_transfer is off."""
+        runtime = make_runtime()
+        bare = runtime.time_kernel(VecAddKernel(2), 4096)
+        with use_fault_plan(FaultPlan(corruption_rate=1.0)):
+            timing = runtime.time_kernel(VecAddKernel(2), 4096)
+        assert timing.fault_seconds == 0.0
+        assert timing.total_seconds == bare.total_seconds
+
+
+class TestReportAndAttrs:
+    def test_report_attrs_and_describe(self):
+        runtime = make_runtime(n_dpus=2560)
+        plan = FaultPlan(
+            seed=11, disable_dpus=36, launch_script=("transient", "ok")
+        )
+        with use_fault_plan(plan):
+            timing = runtime.time_kernel(VecAddKernel(2), 256_000)
+        report = timing.faults
+        assert report.availability == pytest.approx(2524 / 2560)
+        attrs = timing.as_attrs()
+        assert attrs["faults.effective_dpus"] == 2524
+        assert attrs["faults.retries"] == 1
+        assert attrs["faults.imbalance"] >= 0.0
+        assert "2524/2560 DPUs healthy" in report.describe()
+        assert "retries" in timing.describe()
+
+    def test_faultless_timing_attrs_stay_unchanged(self):
+        """No plan -> no faults.* keys, no retry keys: traces written by
+        fault-free runs are byte-compatible with earlier baselines."""
+        runtime = make_runtime()
+        attrs = runtime.time_kernel(VecAddKernel(2), 4096).as_attrs()
+        assert not any(k.startswith("faults.") for k in attrs)
+        assert "retries" not in attrs
+
+    def test_fault_metrics_recorded(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        runtime = make_runtime(n_dpus=2560)
+        registry = MetricsRegistry()
+        plan = FaultPlan(
+            seed=11, disable_dpus=36, launch_script=("transient", "ok")
+        )
+        with use_registry(registry), use_fault_plan(plan):
+            runtime.time_kernel(VecAddKernel(2), 256_000)
+        snapshot = registry.snapshot()
+        assert snapshot["faults.retries"]["value"] == 1
+        assert snapshot["faults.injected.transient_launch"]["value"] == 1
+        assert snapshot["pim.effective_dpus"]["value"] == 2524
+        assert snapshot["pim.disabled_dpus"]["value"] == 36
+        assert snapshot["faults.redispatched_units"]["value"] > 0
+
+
+class TestDeviceEvaluatorUnderFaults:
+    def test_results_bit_identical_below_retry_budget(self, tiny_ctx):
+        """Transient faults below the budget are invisible to the
+        workload: the ciphertext is bit-identical to the fault-free
+        run, only the timing carries the story."""
+        from repro.pim.executor import DeviceEvaluator
+
+        device = DeviceEvaluator(tiny_ctx.params)
+        a = tiny_ctx.encrypt_slots([1, 2, 3])
+        b = tiny_ctx.encrypt_slots([10, 20, 30])
+        clean_ct, clean_run = device.add(a, b)
+        with use_fault_plan(FaultPlan(launch_script=("transient", "ok"))):
+            faulted_ct, faulted_run = device.add(a, b)
+        assert faulted_ct == clean_ct
+        assert clean_run.faults is None
+        assert faulted_run.faults.retries == 1
+        assert faulted_run.timing.total_seconds > clean_run.timing.total_seconds
+
+    def test_exhausted_budget_surfaces_through_evaluator(self, tiny_ctx):
+        from repro.pim.executor import DeviceEvaluator
+
+        device = DeviceEvaluator(
+            tiny_ctx.params, retry_policy=RetryPolicy(max_attempts=2)
+        )
+        a = tiny_ctx.encrypt_slots([1])
+        with use_fault_plan(FaultPlan(transient_rate=1.0)):
+            with pytest.raises(PermanentDeviceError) as excinfo:
+                device.add(a, a)
+        assert excinfo.value.context["attempts"] == 2
+
+
+class TestSimulatorWatchdog:
+    def test_stuck_tasklet_trips_the_watchdog(self):
+        from repro.pim.sim import DPUSimulator, Phase, TaskletProgram
+
+        sim = DPUSimulator(UPMEMConfig())
+        program = TaskletProgram((Phase("compute", 10_000),))
+        with pytest.raises(TransientDeviceError, match="stuck"):
+            sim.run([program] * 2, max_cycles=100)
+
+    def test_generous_budget_never_fires(self):
+        from repro.pim.sim import DPUSimulator, Phase, TaskletProgram
+
+        sim = DPUSimulator(UPMEMConfig())
+        program = TaskletProgram((Phase("compute", 50),))
+        result = sim.run([program], max_cycles=10**6)
+        assert result.cycles > 0
+
+    def test_rejects_nonpositive_budget(self):
+        from repro.pim.sim import DPUSimulator, Phase, TaskletProgram
+
+        sim = DPUSimulator(UPMEMConfig())
+        with pytest.raises(ParameterError):
+            sim.run([TaskletProgram((Phase("compute", 1),))], max_cycles=0)
+
+
+class TestErrorTaxonomy:
+    def test_device_error_context_and_str(self):
+        exc = DeviceError("launch failed", kernel="vec_add", dpu=7, rank=0)
+        assert exc.context == {"kernel": "vec_add", "dpu": 7, "rank": 0}
+        assert str(exc) == "launch failed [kernel=vec_add, dpu=7, rank=0]"
+
+    def test_plain_message_has_no_bracket_suffix(self):
+        assert str(DeviceError("plain")) == "plain"
+
+    def test_subclass_hierarchy(self):
+        assert issubclass(TransientDeviceError, DeviceError)
+        assert issubclass(PermanentDeviceError, DeviceError)
+        assert issubclass(CapacityError, DeviceError)
+
+    def test_mram_overflow_is_capacity_error_with_bytes(self):
+        """Satellite: an MRAM-exceeding workload raises CapacityError
+        carrying how many bytes were needed vs. available."""
+        runtime = make_runtime(n_dpus=1)
+        kernel = VecAddKernel(2)
+        too_many = UPMEMConfig().mram_per_dpu_bytes  # elements >> capacity
+        with pytest.raises(CapacityError) as excinfo:
+            runtime.time_kernel(kernel, too_many)
+        exc = excinfo.value
+        assert exc.context["bytes_needed"] > exc.context["bytes_available"]
+        assert exc.context["kernel"] == "vec_add"
+        assert "bytes_needed" in str(exc)

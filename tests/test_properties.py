@@ -169,6 +169,45 @@ class TestPlannerMonotonicity:
         assert remaining == sorted(remaining, reverse=True)
 
 
+class TestFaultResilienceProperties:
+    @given(
+        work_units=st.integers(min_value=1, max_value=50_000),
+        healthy=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_redispatch_conserves_work(self, work_units, healthy):
+        """Redistribution over any surviving fleet moves every unit
+        somewhere: the per-DPU shares always sum to the original total,
+        and stay within one unit of each other."""
+        from repro.pim.faults import redistribute_units
+
+        shares = redistribute_units(work_units, healthy)
+        assert sum(shares) == work_units
+        assert len(shares) == min(work_units, healthy)
+        assert max(shares) - min(shares) <= 1
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_timing_monotone_as_fleet_degrades(self, seed):
+        """Whatever the seed picks as casualties, losing more DPUs
+        never makes the modelled kernel time decrease."""
+        from repro.pim.config import UPMEMConfig
+        from repro.pim.faults import FaultPlan, use_fault_plan
+        from repro.pim.kernels import VecAddKernel
+        from repro.pim.runtime import PIMRuntime
+
+        runtime = PIMRuntime(config=UPMEMConfig(n_dpus=256))
+        kernel = VecAddKernel(2)
+        times = []
+        for disable in (0, 32, 64, 128, 192):
+            plan = FaultPlan(seed=seed, disable_dpus=disable)
+            with use_fault_plan(plan):
+                times.append(
+                    runtime.time_kernel(kernel, 25_600).total_seconds
+                )
+        assert times == sorted(times)
+
+
 class TestKernelExecutionInvariance:
     def test_output_independent_of_batching(self, rng):
         """Executing elements one-by-one or in a batch gives identical
