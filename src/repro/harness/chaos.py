@@ -16,6 +16,13 @@ regression artifact rather than an anecdote:
 
 :func:`repro.obs.htmlreport.render_faults_report` renders the document
 as the availability-vs-slowdown HTML card CI uploads.
+
+Sweeps can also record through the persistent run registry
+(``repro faults sweep --registry grid.db``):
+:func:`recorded_sweep_degraded_fleet` enumerates the sweep as grid
+cells, drains only the pending ones (an interrupted sweep resumes with
+zero recomputation), and assembles a sweep document bit-identical to
+the direct path from the recorded cells.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ import pathlib
 
 from repro.errors import ParameterError
 from repro.harness.runner import run_experiment
-from repro.obs.baseline import _series_totals, run_identity
+from repro.obs.baseline import _series_totals
+from repro.obs.runident import run_identity
 from repro.pim.config import UPMEMConfig
 from repro.pim.faults import FaultPlan, RetryPolicy, use_fault_plan
 
@@ -35,6 +43,9 @@ __all__ = [
     "DEFAULT_HEALTHY_GRID",
     "plan_for_healthy_fraction",
     "sweep_degraded_fleet",
+    "spec_for_experiments",
+    "sweep_from_registry",
+    "recorded_sweep_degraded_fleet",
     "write_sweep",
     "read_sweep",
     "render_sweep_text",
@@ -138,6 +149,181 @@ def sweep_degraded_fleet(
     doc.update(run_identity())
     doc["experiments"] = experiments
     return doc
+
+
+# -- recording through the run registry --------------------------------------
+
+
+def spec_for_experiments(ids=None, grid=None, seed: int = 0):
+    """The :class:`~repro.obs.registry.GridSpec` covering a sweep.
+
+    The sweep's experiments map onto grid cells via
+    :data:`repro.obs.registry.EXPERIMENT_CELLS`; the spec enumerates
+    the union of their workloads and security levels over the healthy
+    grid (a cross product, so mixing security levels across workloads
+    enumerates a few extra fault-free cells — cheap, and they only
+    widen the baseline cross-check).
+    """
+    from repro.obs import registry as regmod
+
+    selected = (
+        list(DEFAULT_SWEEP_EXPERIMENTS) if ids is None else list(ids)
+    )
+    fractions = sorted(
+        set(DEFAULT_HEALTHY_GRID if grid is None else grid), reverse=True
+    )
+    workloads: list = []
+    bits: set = set()
+    for eid in selected:
+        if eid not in regmod.EXPERIMENT_CELLS:
+            raise ParameterError(
+                f"experiment {eid!r} has no grid-cell mapping; "
+                f"registry-backed sweeps support: "
+                f"{sorted(regmod.EXPERIMENT_CELLS)}"
+            )
+        workload, security, _batches = regmod.EXPERIMENT_CELLS[eid]
+        if workload not in workloads:
+            workloads.append(workload)
+        bits.add(security)
+    return regmod.GridSpec(
+        workloads=tuple(workloads),
+        security_bits=tuple(sorted(bits)),
+        healthy=tuple(fractions),
+        seed=seed,
+    )
+
+
+def sweep_from_registry(registry, ids=None) -> dict:
+    """Assemble a sweep document from a drained registry's cells.
+
+    The document is bit-identical to :func:`sweep_degraded_fleet` with
+    the same experiments/grid/seed (modulo the run identity): each
+    point's per-series totals sum the recorded per-batch cells in the
+    same order the direct path accumulates experiment rows.
+    :class:`~repro.errors.ParameterError` if any needed cell is not
+    done (drain or resume first).
+    """
+    from repro.obs import registry as regmod
+
+    spec = registry.spec
+    config = UPMEMConfig()
+    selected = (
+        list(DEFAULT_SWEEP_EXPERIMENTS) if ids is None else list(ids)
+    )
+    fractions = sorted(set(spec.healthy), reverse=True)
+    index = {
+        (
+            cell["workload"],
+            cell["security_bits"],
+            cell["healthy"],
+            cell["batch"],
+            cell["backend"],
+        ): cell
+        for cell in registry.cells()
+        if cell["status"] == regmod.STATUS_DONE
+    }
+
+    experiments: dict = {}
+    for eid in selected:
+        if eid not in regmod.EXPERIMENT_CELLS:
+            raise ParameterError(
+                f"experiment {eid!r} has no grid-cell mapping; "
+                f"registry-backed sweeps support: "
+                f"{sorted(regmod.EXPERIMENT_CELLS)}"
+            )
+        workload, security, batches = regmod.EXPERIMENT_CELLS[eid]
+        points = []
+        baseline_pim = None
+        for fraction in fractions:
+            totals: dict = {}
+            for backend in spec.backends:
+                total = 0.0
+                for batch in batches:
+                    cell = index.get(
+                        (workload, security, fraction, batch, backend)
+                    )
+                    if cell is None:
+                        raise ParameterError(
+                            f"{registry.path}: cell for {eid} "
+                            f"({workload}/{backend}@{security}b "
+                            f"h={fraction:g} batch={batch}) is not done; "
+                            "drain the grid first ('repro grid run' / "
+                            "'repro grid resume')"
+                        )
+                    total += cell["modelled_ms"]
+                totals[backend] = total
+            plan = plan_for_healthy_fraction(fraction, spec.seed, config)
+            pim_total = totals.get(PIM_SERIES)
+            if fraction == 1.0:
+                baseline_pim = pim_total
+            slowdown = None
+            if (
+                pim_total is not None
+                and baseline_pim is not None
+                and baseline_pim > 0
+            ):
+                slowdown = pim_total / baseline_pim
+            points.append(
+                {
+                    "healthy": fraction,
+                    "disabled_dpus": config.n_dpus
+                    - plan.effective_dpus(config),
+                    "effective_dpus": plan.effective_dpus(config),
+                    "series_totals": totals,
+                    "pim_total": pim_total,
+                    "slowdown": slowdown,
+                }
+            )
+        experiments[eid] = {"points": points}
+
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "seed": spec.seed,
+        "grid": fractions,
+        "n_dpus": config.n_dpus,
+    }
+    doc.update(run_identity())
+    doc["experiments"] = experiments
+    return doc
+
+
+def recorded_sweep_degraded_fleet(
+    db_path, ids=None, grid=None, seed: int = 0, progress=None
+) -> dict:
+    """A degraded-fleet sweep recorded through the run registry.
+
+    Opens (or initialises) the registry at ``db_path`` with the spec
+    the sweep needs, releases cells an interrupted worker left claimed,
+    drains only the pending ones, then assembles the sweep document
+    from the recorded cells — re-running after an interruption resumes
+    with zero recomputation, and a fully drained registry prices
+    nothing at all. The registry spec must match the requested sweep
+    (:class:`~repro.errors.ParameterError` otherwise — use a fresh
+    database per sweep shape).
+    """
+    import pathlib as _pathlib
+
+    from repro.obs import registry as regmod
+
+    spec = spec_for_experiments(ids, grid=grid, seed=seed)
+    if _pathlib.Path(db_path).exists():
+        registry = regmod.RunRegistry.open(db_path)
+        if registry.spec != spec:
+            raise ParameterError(
+                f"{db_path}: registry grid does not match this sweep "
+                "(different experiments, healthy grid, or seed); "
+                "point --registry at a fresh database"
+            )
+    else:
+        registry = regmod.RunRegistry.create(db_path, spec)
+    registry.release_stale()
+    regmod.drain(
+        registry,
+        owner="faults-sweep",
+        progress=progress,
+        command="faults sweep --registry",
+    )
+    return sweep_from_registry(registry, ids)
 
 
 # -- persistence ------------------------------------------------------------

@@ -22,7 +22,15 @@ Subcommands:
 * ``faults run|sweep|html`` — the chaos harness: run experiments under
   a seeded fault plan (disabled DPUs, transient launches, transfer
   corruption, stuck tasklets), sweep the fig1/fig2 experiments across
-  a degraded-fleet grid, and render the availability-vs-slowdown card.
+  a degraded-fleet grid (``--registry`` records through the run
+  registry and makes the sweep resumable), and render the
+  availability-vs-slowdown card;
+* ``grid init|run|status|resume|html`` — the persistent run registry:
+  enumerate the workload × backend × security × fleet-health × batch
+  grid into a sqlite store once, drain pending cells with atomic
+  worker claims, resume an interrupted sweep with zero recomputation,
+  and render the longitudinal dashboard (status heatmap, modelled-time
+  trends across git SHAs, verdict history).
 
 Installed as both ``repro-experiments`` and the shorter ``repro``.
 
@@ -347,9 +355,18 @@ def _cmd_faults_sweep(args) -> int:
         print(f"  sweeping {eid} at {fraction * 100:.0f}% ...", file=sys.stderr)
 
     grid = args.healthy or None
-    doc = chaos.sweep_degraded_fleet(
-        args.ids or None, grid=grid, seed=args.seed, progress=progress
-    )
+    if args.registry:
+        doc = chaos.recorded_sweep_degraded_fleet(
+            args.registry,
+            args.ids or None,
+            grid=grid,
+            seed=args.seed,
+            progress=_grid_progress,
+        )
+    else:
+        doc = chaos.sweep_degraded_fleet(
+            args.ids or None, grid=grid, seed=args.seed, progress=progress
+        )
     print(chaos.render_sweep_text(doc))
     if args.output:
         chaos.write_sweep(doc, args.output)
@@ -372,6 +389,180 @@ def _cmd_faults_html(args) -> int:
     except ParameterError as exc:
         return _no_data(str(exc), hint="repro faults sweep -o <file>")
     document = htmlreport.render_faults_report(doc)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _grid_progress(label: str) -> None:
+    print(f"  cell {label} ...", file=sys.stderr)
+
+
+def _read_perf_baseline(path):
+    """The committed perf baseline, or ``None`` when not recorded."""
+    import os
+
+    from repro.obs import baseline as bl
+
+    return bl.read_run(path) if os.path.exists(path) else None
+
+
+def _open_registry(args):
+    """Open the registry named by ``--db``; ``(registry, None)`` or
+    ``(None, exit_status)`` with the EXIT_DATA convention applied."""
+    from repro.errors import ParameterError
+    from repro.obs import registry as regmod
+
+    try:
+        return regmod.RunRegistry.open(args.db), None
+    except ParameterError as exc:
+        return None, _no_data(str(exc), hint="repro grid init")
+
+
+def _cmd_grid_init(args) -> int:
+    """Enumerate the parameter grid into a fresh registry database."""
+    from repro.errors import ParameterError
+    from repro.obs import registry as regmod
+
+    if args.preset == "tiny":
+        spec = regmod.GridSpec(
+            workloads=("vec_add", "mean"),
+            security_bits=(109,),
+            healthy=(1.0, 0.9),
+            max_batches=2,
+            seed=args.seed,
+        )
+    else:
+        spec = regmod.GridSpec(seed=args.seed)
+    overrides = {}
+    if args.workloads:
+        overrides["workloads"] = tuple(args.workloads)
+    if args.security:
+        overrides["security_bits"] = tuple(args.security)
+    if args.healthy:
+        overrides["healthy"] = tuple(args.healthy)
+    if args.backends:
+        overrides["backends"] = tuple(args.backends)
+    if args.max_batches is not None:
+        overrides["max_batches"] = args.max_batches
+    if overrides:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, **overrides)
+    try:
+        registry = regmod.RunRegistry.create(args.db, spec, force=args.force)
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    n = len(registry.cells())
+    print(
+        f"initialised {args.db}: {n} pending cells "
+        f"({len(spec.workloads)} workloads × {len(spec.backends)} "
+        f"backends × {len(spec.security_bits)} security levels × "
+        f"{len(spec.healthy)} health fractions, seed {spec.seed})"
+    )
+    print("drain it with: repro grid run")
+    return 0
+
+
+def _drain_and_report(args, registry) -> int:
+    """Shared tail of ``grid run`` / ``grid resume``: drain, report."""
+    from repro.obs import registry as regmod
+
+    baseline = _read_perf_baseline(args.baseline)
+    doc = regmod.drain(
+        registry,
+        owner=args.owner,
+        keep_going=args.keep_going,
+        max_cells=args.max_cells,
+        baseline=baseline,
+        progress=_grid_progress,
+    )
+    print(regmod.render_status(registry, baseline))
+    for header in doc["rollups"]["failures"]:
+        print(f"cell FAILED — {header}", file=sys.stderr)
+    if doc["cells_failed"]:
+        return 1
+    verdicts = regmod.check_against_baseline(registry.cells(), baseline)
+    return regmod.exit_code(verdicts)
+
+
+def _cmd_grid_run(args) -> int:
+    """Drain pending grid cells (atomic claims; resumable)."""
+    registry, status = _open_registry(args)
+    if registry is None:
+        return status
+    with registry:
+        return _drain_and_report(args, registry)
+
+
+def _cmd_grid_resume(args) -> int:
+    """Release interrupted claims, then drain what is still pending."""
+    registry, status = _open_registry(args)
+    if registry is None:
+        return status
+    with registry:
+        released = registry.release_stale()
+        if released:
+            print(
+                f"released {released} interrupted cell(s) back to pending",
+                file=sys.stderr,
+            )
+        if args.retry_failed:
+            retried = registry.retry_failed()
+            if retried:
+                print(
+                    f"returned {retried} failed cell(s) to pending",
+                    file=sys.stderr,
+                )
+        return _drain_and_report(args, registry)
+
+
+def _cmd_grid_status(args) -> int:
+    """Report grid progress, failures, ledger, and the baseline gate."""
+    from repro.obs import registry as regmod
+
+    registry, status = _open_registry(args)
+    if registry is None:
+        return status
+    with registry:
+        baseline = _read_perf_baseline(args.baseline)
+        print(regmod.render_status(registry, baseline))
+        verdicts = regmod.check_against_baseline(
+            registry.cells(), baseline
+        )
+        return regmod.exit_code(verdicts)
+
+
+def _cmd_grid_html(args) -> int:
+    """Render the registry as the longitudinal HTML dashboard."""
+    import os
+
+    from repro.obs import baseline as bl
+    from repro.obs import htmlreport
+    from repro.obs import noisegate as ng
+
+    registry, status = _open_registry(args)
+    if registry is None:
+        return status
+    with registry:
+        document = htmlreport.render_grid_dashboard(
+            registry.cells(),
+            registry.runs(),
+            registry.spec,
+            baseline=_read_perf_baseline(args.baseline),
+            perf_history=bl.read_history(args.history),
+            noise_baseline=(
+                ng.read_noise_run(args.noise_baseline)
+                if os.path.exists(args.noise_baseline)
+                else None
+            ),
+            noise_history=ng.read_noise_history(args.noise_history),
+        )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(document)
@@ -900,6 +1091,13 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", metavar="FILE", help="write the sweep JSON to FILE"
     )
     faults_sweep.add_argument(
+        "--registry",
+        metavar="DB",
+        help="record the sweep through the run registry at DB (sqlite): "
+        "each cell is priced at most once, and an interrupted sweep "
+        "resumes with zero recomputation",
+    )
+    faults_sweep.add_argument(
         "--html",
         metavar="FILE",
         help="write the availability-vs-slowdown HTML card to FILE",
@@ -921,6 +1119,175 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="output file (default: stdout)"
     )
     faults_html.set_defaults(func=_cmd_faults_html)
+
+    grid_parser = sub.add_parser(
+        "grid",
+        help="persistent run registry: init, drain, resume, and trend "
+        "the full experiment grid",
+        description=(
+            "A sqlite-backed run store over the workload × backend × "
+            "security × fleet-health × batch grid. 'init' enumerates "
+            "the parameter combinations once; 'run' drains pending "
+            "cells with atomic worker claims; 'resume' picks up an "
+            "interrupted sweep without recomputing done cells; 'html' "
+            "renders the longitudinal dashboard. Fault-free cells are "
+            "cross-checked bit-for-bit against the committed perf "
+            "baseline (MODEL-DRIFT otherwise). See "
+            "docs/observability.md."
+        ),
+    )
+    grid_sub = grid_parser.add_subparsers(dest="grid_command", required=True)
+
+    def _grid_common(p) -> None:
+        from repro.obs.baseline import DEFAULT_BASELINE_PATH
+        from repro.obs.registry import DEFAULT_DB_PATH
+
+        p.add_argument(
+            "--db",
+            default=DEFAULT_DB_PATH,
+            metavar="FILE",
+            help=f"registry database (default: {DEFAULT_DB_PATH})",
+        )
+        p.add_argument(
+            "--baseline",
+            default=DEFAULT_BASELINE_PATH,
+            metavar="FILE",
+            help="perf baseline to cross-check fault-free cells against "
+            f"(default: {DEFAULT_BASELINE_PATH})",
+        )
+
+    def _grid_drain_common(p) -> None:
+        p.add_argument(
+            "--owner",
+            default="worker",
+            help="worker name recorded on claimed cells (default: worker)",
+        )
+        p.add_argument(
+            "--max-cells",
+            type=int,
+            default=None,
+            metavar="N",
+            help="claim at most N cells, then stop (partial drains "
+            "resume later)",
+        )
+        p.add_argument(
+            "-k",
+            "--keep-going",
+            action="store_true",
+            help="record a failing cell (type, message, fault class) "
+            "and continue draining",
+        )
+
+    grid_init = grid_sub.add_parser(
+        "init", help="enumerate the parameter grid into a fresh registry"
+    )
+    grid_init.add_argument(
+        "--preset",
+        choices=("paper", "tiny"),
+        default="paper",
+        help="'paper': every workload/backend/security level; 'tiny': "
+        "a truncated CI-sized grid (default: paper)",
+    )
+    grid_init.add_argument(
+        "--workloads", nargs="+", metavar="W", help="workloads to enumerate"
+    )
+    grid_init.add_argument(
+        "--security",
+        nargs="+",
+        type=int,
+        metavar="BITS",
+        help="security levels to enumerate (default: 27 54 109)",
+    )
+    grid_init.add_argument(
+        "--healthy",
+        nargs="+",
+        type=float,
+        metavar="FRACTION",
+        help="fleet-health fractions to enumerate (default: 1.0 0.9 0.8)",
+    )
+    grid_init.add_argument(
+        "--backends", nargs="+", metavar="B", help="backends to enumerate"
+    )
+    grid_init.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="truncate every workload's batch list to its first N sizes",
+    )
+    grid_init.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default: 0)"
+    )
+    grid_init.add_argument(
+        "--force",
+        action="store_true",
+        help="drop and refill an already-initialised registry",
+    )
+    grid_init.add_argument(
+        "--db",
+        default="grid.db",
+        metavar="FILE",
+        help="registry database (default: grid.db)",
+    )
+    grid_init.set_defaults(func=_cmd_grid_init)
+
+    grid_run = grid_sub.add_parser(
+        "run", help="drain pending cells (atomic claims; resumable)"
+    )
+    _grid_common(grid_run)
+    _grid_drain_common(grid_run)
+    grid_run.set_defaults(func=_cmd_grid_run)
+
+    grid_status = grid_sub.add_parser(
+        "status",
+        help="report grid progress, failed cells, and the baseline gate",
+    )
+    _grid_common(grid_status)
+    grid_status.set_defaults(func=_cmd_grid_status)
+
+    grid_resume = grid_sub.add_parser(
+        "resume",
+        help="release interrupted claims and drain the remaining cells",
+    )
+    _grid_common(grid_resume)
+    _grid_drain_common(grid_resume)
+    grid_resume.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="also return failed cells to pending before draining",
+    )
+    grid_resume.set_defaults(func=_cmd_grid_resume)
+
+    grid_html = grid_sub.add_parser(
+        "html",
+        help="render the longitudinal dashboard (heatmap, trends, "
+        "verdict history)",
+    )
+    _grid_common(grid_html)
+    grid_html.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    grid_html.add_argument(
+        "--history",
+        default="baselines/history.jsonl",
+        metavar="FILE",
+        help="perf run-history JSONL for the verdict-history panel "
+        "(default: baselines/history.jsonl)",
+    )
+    grid_html.add_argument(
+        "--noise-baseline",
+        default="baselines/noise.json",
+        metavar="FILE",
+        help="noise calibration JSON (default: baselines/noise.json)",
+    )
+    grid_html.add_argument(
+        "--noise-history",
+        default="baselines/noise-history.jsonl",
+        metavar="FILE",
+        help="noise run-history JSONL "
+        "(default: baselines/noise-history.jsonl)",
+    )
+    grid_html.set_defaults(func=_cmd_grid_html)
 
     profile_parser = sub.add_parser(
         "profile",

@@ -18,6 +18,29 @@ from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 
 
+def failure_record(label: str, exc: BaseException) -> dict:
+    """One failure as a structured, JSON-able record.
+
+    The canonical shape every reporting surface shares — batch runs
+    (:meth:`BatchResults.failure_records`), the chaos harness, and the
+    run registry's failed cells all record ``{"experiment",
+    "error_type", "message", "fault_class", "header"}``. ``header`` is
+    the one-line form reports lead with, the label first;
+    fault-injected failures carry their class (``[permanent]`` /
+    ``[transient]``) in it so triage can tell a dead fleet from bad
+    luck.
+    """
+    fault_class = classify_fault(exc)
+    tag = f"[{fault_class}] " if fault_class else ""
+    return {
+        "experiment": label,
+        "error_type": type(exc).__name__,
+        "message": str(exc),
+        "fault_class": fault_class,
+        "header": f"{label}: {tag}{type(exc).__name__}: {exc}",
+    }
+
+
 def classify_fault(exc: BaseException) -> str | None:
     """The fault class of an exception, or ``None`` for ordinary errors.
 
@@ -46,30 +69,11 @@ class BatchResults(dict):
         self.failures: dict = {}
 
     def failure_records(self) -> list:
-        """Collected failures as structured, JSON-able records.
-
-        Each record names the experiment *and* what went wrong —
-        ``{"experiment", "error_type", "message", "fault_class",
-        "header"}`` — so batch reporting never reduces a failure to
-        just its id. ``header`` is the one-line form every reporting
-        surface leads with, the experiment id first; fault-injected
-        failures carry their class (``[permanent]`` / ``[transient]``)
-        in it so chaos-run triage can tell a dead fleet from bad luck.
-        """
-        records = []
-        for eid, exc in self.failures.items():
-            fault_class = classify_fault(exc)
-            tag = f"[{fault_class}] " if fault_class else ""
-            records.append(
-                {
-                    "experiment": eid,
-                    "error_type": type(exc).__name__,
-                    "message": str(exc),
-                    "fault_class": fault_class,
-                    "header": f"{eid}: {tag}{type(exc).__name__}: {exc}",
-                }
-            )
-        return records
+        """Collected failures as :func:`failure_record` dicts, so batch
+        reporting never reduces a failure to just its id."""
+        return [
+            failure_record(eid, exc) for eid, exc in self.failures.items()
+        ]
 
 
 def run_experiment(experiment_id: str) -> list:

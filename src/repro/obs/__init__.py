@@ -43,6 +43,15 @@ stamps every ciphertext with its predicted invariant-noise budget
 secret key), and :mod:`repro.obs.noisegate` gates the growth model
 against committed predicted-vs-measured trajectories
 (``NOISE-DRIFT``) — driven by ``repro noise record|check|report``.
+
+PR 6 makes the whole evaluation matrix *persistent and resumable*:
+:mod:`repro.obs.runident` is the shared run-identity stamp (uuid,
+timestamp, git SHA) every recorder now uses, and
+:mod:`repro.obs.registry` is a sqlite-backed run store — a grid table
+of enumerated parameter combinations (workload × backend × security
+level × fleet health × batch size) with atomic claim/run/record/resume
+semantics, plus a runs ledger for longitudinal trends — driven by
+``repro grid init|run|status|resume|html``.
 """
 
 from repro.obs.baseline import (
@@ -50,12 +59,11 @@ from repro.obs.baseline import (
     capture_experiment,
     capture_run,
     find_run,
-    git_sha,
     read_history,
     read_run,
-    run_identity,
     write_run,
 )
+from repro.obs.runident import git_sha, run_identity
 from repro.obs.export import (
     merge_chrome_traces,
     read_jsonl,
@@ -68,10 +76,12 @@ from repro.obs.export import (
 from repro.obs.htmlreport import (
     render_dashboard,
     render_faults_report,
+    render_grid_dashboard,
     render_noise_report,
     render_profile_report,
     write_dashboard,
     write_faults_report,
+    write_grid_dashboard,
     write_noise_report,
 )
 from repro.obs.noise import (
@@ -206,4 +216,7 @@ __all__ = [
     # degraded-fleet sweep card (repro faults)
     "render_faults_report",
     "write_faults_report",
+    # run registry & longitudinal dashboard (repro grid)
+    "render_grid_dashboard",
+    "write_grid_dashboard",
 ]

@@ -17,8 +17,10 @@ recorded experiment:
 A **baseline** is simply a committed run record
 (``baselines/perf.json``); :mod:`repro.obs.perf` compares fresh runs
 against it. Every record also carries an identity — ``run_id`` (uuid),
-ISO timestamp, git SHA — and the same identity helpers stamp the
-benchmark suite's ``metrics.jsonl`` lines.
+ISO timestamp, git SHA, captured by the shared
+:mod:`repro.obs.runident` helpers (re-exported here) — and the same
+identity helpers stamp the benchmark suite's ``metrics.jsonl`` lines
+and the run registry's ledger (:mod:`repro.obs.registry`).
 
 Documents are schema-versioned (:data:`SCHEMA_VERSION`); readers
 refuse unknown versions so a future layout change cannot be silently
@@ -31,13 +33,11 @@ import json
 import os
 import pathlib
 import statistics
-import subprocess
-import uuid
-from datetime import datetime, timezone
 from time import perf_counter
 
 from repro.errors import ParameterError
 from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.runident import git_sha, run_identity
 from repro.obs.trace import Tracer, use_tracer
 
 __all__ = [
@@ -70,32 +70,9 @@ DEFAULT_HISTORY_PATH = "baselines/history.jsonl"
 FRESH_ENV_VAR = "REPRO_BENCH_FRESH"
 
 
-def git_sha(cwd=None) -> str | None:
-    """The current git commit SHA, or ``None`` outside a checkout."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=cwd,
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return None
-    sha = out.stdout.strip()
-    return sha if out.returncode == 0 and sha else None
-
-
-def run_identity() -> dict:
-    """A fresh run identity: uuid, ISO-8601 UTC timestamp, git SHA."""
-    return {
-        "run_id": uuid.uuid4().hex,
-        "created_at": datetime.now(timezone.utc).isoformat(
-            timespec="seconds"
-        ),
-        "git_sha": git_sha(),
-    }
-
+# ``git_sha`` / ``run_identity`` live in :mod:`repro.obs.runident` and
+# are re-exported here: they predate that module and existing callers
+# (and committed baselines) reference them through this namespace.
 
 # -- capture ----------------------------------------------------------------
 

@@ -23,6 +23,8 @@ __all__ = [
     "write_noise_report",
     "render_faults_report",
     "write_faults_report",
+    "render_grid_dashboard",
+    "write_grid_dashboard",
 ]
 
 _BADGE_COLORS = {
@@ -32,6 +34,7 @@ _BADGE_COLORS = {
     _perf.VERDICT_REGRESSION: "#c62828",
     _perf.VERDICT_DRIFT: "#e65100",
     "NOISE-DRIFT": "#c62828",
+    "partial": "#f9a825",
 }
 
 _CSS = """
@@ -678,3 +681,325 @@ def write_dashboard(path, history, baseline=None, **kwargs) -> None:
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(render_dashboard(history, baseline, **kwargs))
+
+
+# -- longitudinal grid dashboard (repro grid html) ---------------------------
+
+_STATUS_COLORS = {
+    "done": "#2e7d32",
+    "failed": "#c62828",
+    "running": "#f9a825",
+    "pending": "#b0bec5",
+}
+
+
+def _status_block(cell: dict) -> str:
+    """One backend's status square inside a heatmap cell."""
+    status = cell["status"]
+    color = _STATUS_COLORS.get(status, "#555")
+    tip = f"{cell['backend']}: {status}"
+    if status == "done" and cell.get("modelled_ms") is not None:
+        tip += f" — {cell['modelled_ms']:,.4f} ms modelled"
+    elif status == "failed" and cell.get("failure_header"):
+        tip = cell["failure_header"]
+    return (
+        f'<span class="gridcell" style="background:{color}" '
+        f'title="{_esc(tip)}"></span>'
+    )
+
+
+def _heatmap_card(workload: str, cells) -> str:
+    """Per-workload status heatmap: (security, healthy) rows × batch
+    columns, one colored square per backend inside each cell."""
+    batches = sorted({c["batch"] for c in cells})
+    index: dict = {}
+    for cell in cells:
+        key = (cell["security_bits"], cell["healthy"], cell["batch"])
+        index.setdefault(key, []).append(cell)
+    row_keys = sorted(
+        {(c["security_bits"], c["healthy"]) for c in cells},
+        key=lambda k: (k[0], -k[1]),
+    )
+    head = "".join(f"<th>{batch:,}</th>" for batch in batches)
+    body = []
+    for bits, healthy in row_keys:
+        tds = []
+        for batch in batches:
+            group = index.get((bits, healthy, batch), [])
+            tds.append(
+                "<td>"
+                + "".join(_status_block(c) for c in group)
+                + "</td>"
+            )
+        body.append(
+            f"<tr><td>{bits}b · {healthy * 100:g}% healthy</td>"
+            + "".join(tds)
+            + "</tr>"
+        )
+    done = sum(1 for c in cells if c["status"] == "done")
+    return (
+        "<div class='card'>"
+        f"<h2>{_esc(workload)} "
+        f"<span class='meta'>{done}/{len(cells)} cells done</span></h2>"
+        f"<table><tr><th>security · health</th>{head}</tr>"
+        + "".join(body)
+        + "</table></div>"
+    )
+
+
+def _heatmap_legend() -> str:
+    return (
+        '<p class="meta legend">'
+        + "".join(
+            f'<span class="swatch" style="background:{color}"></span>'
+            f"{_esc(status)}"
+            for status, color in _STATUS_COLORS.items()
+        )
+        + "</p>"
+    )
+
+
+def _grid_trends_card(runs) -> str:
+    """Modelled-time trend lines across recorded registry runs.
+
+    One row per experiment group the registry's ledger rolled up: the
+    PIM modelled total across runs (left = oldest, labelled by git
+    SHA in the tooltip) as a sparkline, plus the latest value.
+    """
+    series: dict = {}
+    for run in runs:
+        rollups = run.get("rollups", {})
+        # Experiment groups when the grid covers them fully, plus the
+        # per-workload totals any grid (even a truncated one) produces.
+        merged = dict(rollups.get("workloads", {}))
+        merged.update(rollups.get("experiments", {}))
+        for eid, totals in merged.items():
+            series.setdefault(eid, []).append(
+                (str(run.get("git_sha"))[:12], totals.get("pim"))
+            )
+    if not series:
+        return (
+            "<div class='card'><h2>Modelled-time trends</h2>"
+            "<p class='meta'>No recorded runs yet — drain the grid "
+            "with <code>repro grid run</code>.</p></div>"
+        )
+    rows = []
+    for eid, points in sorted(series.items()):
+        values = [v for _sha, v in points]
+        latest = next(
+            (v for v in reversed(values) if v is not None), None
+        )
+        shas = " → ".join(sha for sha, _v in points)
+        rows.append(
+            f"<tr><td title='{_esc(shas)}'>{_esc(eid)}</td>"
+            f"<td style='text-align:left'>{_sparkline(values)}</td>"
+            + (
+                f"<td>{latest:,.4f}</td>"
+                if latest is not None
+                else "<td>-</td>"
+            )
+            + f"<td>{len(values)}</td></tr>"
+        )
+    return (
+        "<div class='card'><h2>Modelled-time trends "
+        "<span class='meta'>pim totals across registry runs, by git "
+        "SHA</span></h2>"
+        "<table><tr><th>experiment</th>"
+        "<th style='text-align:left'>trend (old → new)</th>"
+        "<th>latest [ms]</th><th>runs</th></tr>"
+        + "".join(rows)
+        + "</table></div>"
+    )
+
+
+def _verdict_history_rows(runs, perf_history, baseline,
+                          noise_history, noise_baseline) -> list:
+    """(created_at, git_sha, source, [(experiment, verdict)]) rows."""
+    from repro.obs import noisegate as _ng
+
+    rows = []
+    for run in runs:
+        verdicts = run.get("rollups", {}).get("verdicts", [])
+        rows.append(
+            (
+                run.get("created_at", ""),
+                str(run.get("git_sha"))[:12],
+                "grid",
+                [(v["experiment"], v["verdict"]) for v in verdicts],
+            )
+        )
+    if baseline is not None:
+        for doc in perf_history or []:
+            verdicts = _perf.check_runs(baseline, doc, skip_wall=True)
+            rows.append(
+                (
+                    doc.get("created_at", ""),
+                    str(doc.get("git_sha"))[:12],
+                    "perf",
+                    [(v.experiment, v.verdict) for v in verdicts],
+                )
+            )
+    if noise_baseline is not None:
+        for doc in noise_history or []:
+            verdicts = _ng.check_noise_runs(noise_baseline, doc)
+            rows.append(
+                (
+                    doc.get("created_at", ""),
+                    str(doc.get("git_sha"))[:12],
+                    "noise",
+                    [(v.key, v.verdict) for v in verdicts],
+                )
+            )
+    rows.sort(key=lambda row: row[0])
+    return rows
+
+
+def _verdict_history_card(rows) -> str:
+    """The longitudinal verdict table: every recorded gate outcome —
+    grid MODEL-DRIFT, perf MODEL-DRIFT/REGRESSION, noise NOISE-DRIFT —
+    ordered by time, one badge summary per recorded run."""
+    if not rows:
+        return (
+            "<div class='card'><h2>Verdict history</h2>"
+            "<p class='meta'>No recorded verdicts yet.</p></div>"
+        )
+    body = []
+    for created_at, sha, source, verdicts in rows:
+        counts: dict = {}
+        for _name, verdict in verdicts:
+            counts[verdict] = counts.get(verdict, 0) + 1
+        bad = [
+            f"{name}: {verdict}"
+            for name, verdict in verdicts
+            if verdict not in ("ok", "new", "partial", "FASTER")
+        ]
+        badges = " ".join(
+            f"{_badge(verdict)} {n}" for verdict, n in sorted(counts.items())
+        )
+        detail = (
+            f"<br><span class='meta'>{_esc('; '.join(bad))}</span>"
+            if bad
+            else ""
+        )
+        body.append(
+            f"<tr><td>{_esc(created_at)}</td><td><code>{_esc(sha)}</code>"
+            f"</td><td>{_esc(source)}</td>"
+            f"<td style='text-align:left'>{badges}{detail}</td></tr>"
+        )
+    return (
+        "<div class='card'><h2>Verdict history "
+        "<span class='meta'>grid · perf · noise gates over time</span>"
+        "</h2><table><tr><th>recorded</th><th>git</th><th>gate</th>"
+        "<th style='text-align:left'>verdicts</th></tr>"
+        + "".join(body)
+        + "</table></div>"
+    )
+
+
+def render_grid_dashboard(
+    cells,
+    runs,
+    spec,
+    baseline: dict | None = None,
+    perf_history=None,
+    noise_baseline: dict | None = None,
+    noise_history=None,
+    title: str = "repro run registry",
+) -> str:
+    """The longitudinal dashboard for a run registry (``repro grid html``).
+
+    Three panels over the registry's plain data (``cells`` and ``runs``
+    as returned by :meth:`~repro.obs.registry.RunRegistry.cells` /
+    :meth:`~repro.obs.registry.RunRegistry.runs`, ``spec`` the
+    :class:`~repro.obs.registry.GridSpec`):
+
+    * a per-cell **status heatmap** per workload — security × health
+      rows, batch columns, one colored square per backend;
+    * **modelled-time trend lines** across recorded registry runs,
+      labelled by git SHA;
+    * the **verdict history** — grid MODEL-DRIFT outcomes from the
+      runs ledger, interleaved with perf (MODEL-DRIFT / REGRESSION)
+      and noise (NOISE-DRIFT) gate outcomes recomputed from their
+      committed histories, ordered by time.
+    """
+    from repro.obs import registry as _registry
+
+    cells = list(cells)
+    runs = list(runs)
+    counts: dict = {}
+    for cell in cells:
+        counts[cell["status"]] = counts.get(cell["status"], 0) + 1
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}"
+        ".gridcell { display: inline-block; width: .9em; height: .9em;"
+        " border-radius: 2px; margin: 1px; vertical-align: middle; }"
+        "</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='meta'>{len(cells)} cells — "
+        + " · ".join(
+            f"{status}: {n}" for status, n in sorted(counts.items())
+        )
+        + f" · seed {_esc(spec.seed)} · {len(runs)} recorded run(s)"
+        + (
+            f"<br>latest: {_identity_line(runs[-1])}" if runs else ""
+        )
+        + "</p>",
+        _heatmap_legend(),
+    ]
+
+    by_workload: dict = {}
+    for cell in cells:
+        by_workload.setdefault(cell["workload"], []).append(cell)
+    for workload in spec.workloads:
+        if workload in by_workload:
+            parts.append(_heatmap_card(workload, by_workload[workload]))
+
+    parts.append(_grid_trends_card(runs))
+
+    verdicts = _registry.check_against_baseline(cells, baseline)
+    if verdicts:
+        parts.append(
+            "<div class='card'><h2>Baseline cross-check "
+            "<span class='meta'>fault-free cells vs the committed perf "
+            "baseline</span></h2><p>"
+            + " ".join(
+                _badge(v.verdict) + f" {_esc(v.experiment)}"
+                for v in verdicts
+            )
+            + (
+                " — <strong>gate fails</strong>"
+                if _registry.exit_code(verdicts)
+                else " — gate passes"
+            )
+            + "</p>"
+            + (
+                "<ul>"
+                + "".join(
+                    f"<li>{_esc(note)}</li>"
+                    for v in verdicts
+                    for note in v.notes
+                )
+                + "</ul>"
+                if any(v.notes for v in verdicts)
+                else ""
+            )
+            + "</div>"
+        )
+
+    parts.append(
+        _verdict_history_card(
+            _verdict_history_rows(
+                runs, perf_history, baseline, noise_history, noise_baseline
+            )
+        )
+    )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_grid_dashboard(path, cells, runs, spec, **kwargs) -> None:
+    """Render and write the longitudinal grid dashboard."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_grid_dashboard(cells, runs, spec, **kwargs))

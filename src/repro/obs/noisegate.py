@@ -40,7 +40,7 @@ import pathlib
 from dataclasses import dataclass, field
 
 from repro.errors import ParameterError
-from repro.obs.baseline import run_identity
+from repro.obs.runident import run_identity
 from repro.obs.noise import NoiseLedger, use_noise_ledger
 
 __all__ = [

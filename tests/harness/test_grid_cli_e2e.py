@@ -1,0 +1,163 @@
+"""``repro grid`` end to end: init/run/status/resume/html, the
+EXIT_DATA convention on missing registries, and the dashboard artifact."""
+
+import pytest
+
+from repro.harness.cli import EXIT_DATA, main
+from repro.obs import registry as reg
+
+TINY_INIT = ["grid", "init", "--preset", "tiny"]
+
+
+def init_tiny(tmp_path, seed="0"):
+    db = tmp_path / "grid.db"
+    assert main(TINY_INIT + ["--db", str(db), "--seed", seed]) == 0
+    return db
+
+
+class TestGridMissingDataExits:
+    """Locked alongside the perf/noise/faults conventions: a missing
+    or uninitialised registry is EXIT_DATA (2), never a stack trace
+    or a bare 1."""
+
+    @pytest.mark.parametrize(
+        "subcommand", ["status", "resume", "html", "run"]
+    )
+    def test_missing_db_exits_data(self, subcommand, tmp_path, capsys):
+        status = main(
+            ["grid", subcommand, "--db", str(tmp_path / "none.db")]
+        )
+        assert status == EXIT_DATA
+        err = capsys.readouterr().err
+        assert "no run registry" in err
+        assert "repro grid init" in err
+
+    @pytest.mark.parametrize("subcommand", ["status", "resume", "html"])
+    def test_empty_db_file_exits_data(self, subcommand, tmp_path, capsys):
+        empty = tmp_path / "empty.db"
+        empty.touch()
+        status = main(["grid", subcommand, "--db", str(empty)])
+        assert status == EXIT_DATA
+        err = capsys.readouterr().err
+        assert "repro grid init" in err
+
+    def test_exit_data_distinct_from_failure(self):
+        assert EXIT_DATA == 2
+
+
+class TestGridInit:
+    def test_init_enumerates_and_reports(self, tmp_path, capsys):
+        db = init_tiny(tmp_path)
+        out = capsys.readouterr().out
+        assert "32 pending cells" in out
+        assert reg.RunRegistry.open(db).counts()["pending"] == 32
+
+    def test_reinit_without_force_fails(self, tmp_path, capsys):
+        db = init_tiny(tmp_path)
+        assert main(TINY_INIT + ["--db", str(db)]) == 1
+        assert "already initialised" in capsys.readouterr().err
+        assert main(TINY_INIT + ["--db", str(db), "--force"]) == 0
+
+    def test_explicit_axes_override_preset(self, tmp_path):
+        db = tmp_path / "grid.db"
+        assert (
+            main(
+                [
+                    "grid",
+                    "init",
+                    "--db",
+                    str(db),
+                    "--workloads",
+                    "vec_mul",
+                    "--security",
+                    "54",
+                    "--healthy",
+                    "1.0",
+                    "--backends",
+                    "pim",
+                    "cpu",
+                    "--max-batches",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        spec = reg.RunRegistry.open(db).spec
+        assert spec.workloads == ("vec_mul",)
+        assert spec.security_bits == (54,)
+        assert spec.backends == ("pim", "cpu")
+
+
+class TestGridRunResumeHtml:
+    def test_full_cycle(self, tmp_path, capsys):
+        """The CI shape: init tiny, run half, kill the worker mid-claim,
+        resume to completion, render the dashboard artifact."""
+        db = init_tiny(tmp_path)
+
+        # run half the grid, then stop
+        assert (
+            main(["grid", "run", "--db", str(db), "--max-cells", "16"])
+            == 0
+        )
+        registry = reg.RunRegistry.open(db)
+        assert registry.counts()["done"] == 16
+
+        # a worker dies holding a claim
+        assert registry.claim_next("doomed") is not None
+        registry.close()
+
+        # resume drains the rest without touching done cells
+        assert main(["grid", "resume", "--db", str(db)]) == 0
+        err = capsys.readouterr().err
+        assert "released 1 interrupted cell" in err
+        registry = reg.RunRegistry.open(db)
+        assert registry.counts()["done"] == 32
+        assert registry.counts()["pending"] == 0
+        assert len(registry.runs()) == 2
+
+        # status reports the drained grid
+        assert main(["grid", "status", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "done: 32" in out
+
+        # the longitudinal dashboard renders as a standalone artifact
+        html = tmp_path / "dash.html"
+        assert (
+            main(["grid", "html", "--db", str(db), "-o", str(html)]) == 0
+        )
+        document = html.read_text()
+        assert "<!doctype html" in document
+        assert "vec_add" in document
+        assert "Verdict history" in document
+
+    def test_run_reports_failed_cells(self, tmp_path, capsys, monkeypatch):
+        db = init_tiny(tmp_path)
+
+        real_run_cell = reg.run_cell
+
+        def flaky(cell, seed=0):
+            if cell["backend"] == "gpu":
+                raise RuntimeError("no device")
+            return real_run_cell(cell, seed=seed)
+
+        monkeypatch.setattr(reg, "run_cell", flaky)
+        status = main(["grid", "run", "--db", str(db), "--keep-going"])
+        assert status == 1
+        captured = capsys.readouterr()
+        assert "cell FAILED" in captured.err
+        assert "RuntimeError: no device" in captured.err
+        # resume --retry-failed clears them once the fault is gone
+        monkeypatch.undo()
+        assert (
+            main(
+                [
+                    "grid",
+                    "resume",
+                    "--db",
+                    str(db),
+                    "--retry-failed",
+                ]
+            )
+            == 0
+        )
+        assert reg.RunRegistry.open(db).counts()["done"] == 32

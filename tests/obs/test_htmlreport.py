@@ -190,3 +190,75 @@ class TestProfileReport:
         assert "occbar" in html
         # Without profiles the section is absent.
         assert "Pipeline profiles" not in htmlreport.render_dashboard(history)
+
+
+class TestGridDashboard:
+    @pytest.fixture
+    def drained(self, tmp_path):
+        from repro.obs import registry as reg
+
+        spec = reg.GridSpec(
+            workloads=("vec_add",),
+            security_bits=(109,),
+            healthy=(1.0, 0.9),
+            max_batches=2,
+        )
+        registry = reg.RunRegistry.create(tmp_path / "grid.db", spec)
+        reg.drain(registry)
+        return registry
+
+    def test_renders_all_panels(self, drained):
+        document = htmlreport.render_grid_dashboard(
+            drained.cells(), drained.runs(), drained.spec
+        )
+        assert document.startswith("<!doctype html")
+        assert "vec_add" in document  # status heatmap card
+        assert "gridcell" in document  # per-backend status squares
+        assert "Modelled-time trends" in document
+        assert "Verdict history" in document
+        assert "grid" in document  # ledger verdicts labelled by source
+
+    def test_trends_appear_after_multiple_runs(self, drained):
+        # a second ledger entry makes the pim series trendable
+        run = dict(drained.runs()[0])
+        run["run_id"] = "x" * 32
+        run["created_at"] = "2099-01-01T00:00:00+00:00"
+        drained.record_run(run)
+        document = htmlreport.render_grid_dashboard(
+            drained.cells(), drained.runs(), drained.spec
+        )
+        assert "<svg" in document  # at least one sparkline drawn
+
+    def test_failed_cells_carry_headers_in_tooltips(
+        self, drained
+    ):
+        drained._conn.execute(
+            "UPDATE grid SET status = 'failed', "
+            "failure_header = 'cell: [permanent] Boom: x < y' "
+            "WHERE backend = 'gpu'"
+        )
+        document = htmlreport.render_grid_dashboard(
+            drained.cells(), drained.runs(), drained.spec
+        )
+        assert "[permanent] Boom: x &lt; y" in document
+
+    def test_baseline_and_histories_fold_in(self, drained):
+        baseline = bl.read_run("baselines/perf.json")
+        history = bl.read_history("baselines/history.jsonl")
+        document = htmlreport.render_grid_dashboard(
+            drained.cells(),
+            drained.runs(),
+            drained.spec,
+            baseline=baseline,
+            perf_history=history,
+        )
+        assert "Verdict history" in document
+        if history:
+            assert ">perf<" in document  # perf gate rows interleaved
+
+    def test_write_helper(self, drained, tmp_path):
+        out = tmp_path / "nested" / "dash.html"
+        htmlreport.write_grid_dashboard(
+            out, drained.cells(), drained.runs(), drained.spec
+        )
+        assert out.read_text().startswith("<!doctype html")
