@@ -30,7 +30,13 @@ Subcommands:
   grid into a sqlite store once, drain pending cells with atomic
   worker claims, resume an interrupted sweep with zero recomputation,
   and render the longitudinal dashboard (status heatmap, modelled-time
-  trends across git SHAs, verdict history).
+  trends across git SHAs, verdict history);
+* ``serve run|sweep|html`` — the batched serving model: simulate a
+  seeded open-loop serving point with request-level SLO accounting
+  (latency decomposition, streaming percentiles, burn rates), sweep
+  offered QPS × security level × fleet health for sustainable
+  capacity (``--registry`` makes the sweep resumable), and render the
+  capacity dashboard.
 
 Installed as both ``repro-experiments`` and the shorter ``repro``.
 
@@ -156,14 +162,12 @@ def _cmd_perf_record(args) -> int:
 
 def _cmd_perf_check(args) -> int:
     """Re-run and compare against the baseline; non-zero on failure."""
-    from repro.errors import ParameterError
     from repro.obs import baseline as bl
     from repro.obs import perf
 
-    try:
-        baseline = bl.read_run(args.baseline)
-    except ParameterError as exc:
-        return _no_data(str(exc))
+    baseline, status = _load_recorded(bl.read_run, args.baseline)
+    if baseline is None:
+        return status
     ids = args.ids or list(baseline["experiments"])
     current = bl.capture_run(ids, repeats=args.repeats, progress=_progress)
     bl.append_history(current, args.history)
@@ -182,9 +186,29 @@ def _no_data(message: str, hint: str = "repro perf record") -> int:
     return EXIT_DATA
 
 
+def _load_recorded(loader, *args, hint: str = "repro perf record"):
+    """Load recorded data under the EXIT_DATA convention.
+
+    Every subcommand that *reads* recorded artifacts (perf baselines,
+    noise calibrations, fault sweeps, serving sweeps, the run registry)
+    shares one failure mode — "the data this command needs was never
+    recorded" — reported identically: the loader's
+    :class:`~repro.errors.ParameterError` message plus a record-it-first
+    hint on stderr, exit status :data:`EXIT_DATA`, never a traceback.
+
+    Returns ``(value, None)`` on success or ``(None, status)`` after
+    reporting; callers return ``status`` when ``value`` is ``None``.
+    """
+    from repro.errors import ParameterError
+
+    try:
+        return loader(*args), None
+    except ParameterError as exc:
+        return None, _no_data(str(exc), hint=hint)
+
+
 def _cmd_perf_diff(args) -> int:
     """Attribution diff between two recorded runs."""
-    from repro.errors import ParameterError
     from repro.obs import baseline as bl
     from repro.obs import perf
 
@@ -192,11 +216,12 @@ def _cmd_perf_diff(args) -> int:
         return _no_data(
             f"no run history at {args.history} (missing or empty)"
         )
-    try:
-        run_a = bl.find_run(args.run_a, args.history)
-        run_b = bl.find_run(args.run_b, args.history)
-    except ParameterError as exc:
-        return _no_data(str(exc))
+    run_a, status = _load_recorded(bl.find_run, args.run_a, args.history)
+    if run_a is None:
+        return status
+    run_b, status = _load_recorded(bl.find_run, args.run_b, args.history)
+    if run_b is None:
+        return status
     print(perf.render_diff(run_a, run_b, top_k=args.top))
     return 0
 
@@ -254,13 +279,13 @@ def _cmd_noise_record(args) -> int:
 
 def _cmd_noise_check(args) -> int:
     """Re-run the trajectories and gate against the calibration baseline."""
-    from repro.errors import ParameterError
     from repro.obs import noisegate as ng
 
-    try:
-        baseline = ng.read_noise_run(args.baseline)
-    except ParameterError as exc:
-        return _no_data(str(exc), hint="repro noise record")
+    baseline, status = _load_recorded(
+        ng.read_noise_run, args.baseline, hint="repro noise record"
+    )
+    if baseline is None:
+        return status
     levels = args.levels or [int(bits) for bits in baseline["levels"]]
     current = ng.capture_noise_run(
         levels=levels, seed=baseline.get("seed", 7), progress=_progress
@@ -380,14 +405,14 @@ def _cmd_faults_sweep(args) -> int:
 
 def _cmd_faults_html(args) -> int:
     """Render a recorded sweep as the availability-vs-slowdown card."""
-    from repro.errors import ParameterError
     from repro.harness import chaos
     from repro.obs import htmlreport
 
-    try:
-        doc = chaos.read_sweep(args.sweep)
-    except ParameterError as exc:
-        return _no_data(str(exc), hint="repro faults sweep -o <file>")
+    doc, status = _load_recorded(
+        chaos.read_sweep, args.sweep, hint="repro faults sweep -o <file>"
+    )
+    if doc is None:
+        return status
     document = htmlreport.render_faults_report(doc)
     if args.output:
         with open(args.output, "w") as handle:
@@ -414,13 +439,11 @@ def _read_perf_baseline(path):
 def _open_registry(args):
     """Open the registry named by ``--db``; ``(registry, None)`` or
     ``(None, exit_status)`` with the EXIT_DATA convention applied."""
-    from repro.errors import ParameterError
     from repro.obs import registry as regmod
 
-    try:
-        return regmod.RunRegistry.open(args.db), None
-    except ParameterError as exc:
-        return None, _no_data(str(exc), hint="repro grid init")
+    return _load_recorded(
+        regmod.RunRegistry.open, args.db, hint="repro grid init"
+    )
 
 
 def _cmd_grid_init(args) -> int:
@@ -563,6 +586,171 @@ def _cmd_grid_html(args) -> int:
             ),
             noise_history=ng.read_noise_history(args.noise_history),
         )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _serve_spec_from_args(args, security_bits, rate_qps, healthy):
+    """One single-class :class:`~repro.serve.service.ServeSpec` from CLI args."""
+    from repro.serve import service as serve
+
+    return serve.ServeSpec(
+        classes=(
+            serve.RequestClass(
+                workload=args.workload,
+                security_bits=security_bits,
+                rate_qps=rate_qps,
+                ops_per_request=args.ops_per_request,
+            ),
+        ),
+        duration_s=args.duration,
+        seed=args.seed,
+        healthy=healthy,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms * 1e-3,
+    )
+
+
+def _write_serve_chrome(path, timelines) -> None:
+    import json
+
+    from repro.serve import service as serve
+
+    with open(path, "w") as handle:
+        json.dump(serve.timelines_to_chrome_trace(timelines), handle)
+    print(f"wrote Chrome trace to {path}", file=sys.stderr)
+
+
+def _cmd_serve_run(args) -> int:
+    """Simulate one serving point and print its SLO report."""
+    import json
+
+    from repro.serve import service as serve
+
+    spec = _serve_spec_from_args(
+        args, args.security, args.qps, args.healthy
+    )
+    result = serve.simulate(spec)
+    serve.emit_request_spans(result)  # no-op unless REPRO_TRACE is set
+    print(serve.render_point_text(result))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.doc, handle, indent=1, sort_keys=True)
+        print(f"wrote point document to {args.output}", file=sys.stderr)
+    if args.chrome:
+        _write_serve_chrome(args.chrome, result.timelines)
+    return 0
+
+
+def _serve_progress(label: str) -> None:
+    print(f"  point {label} ...", file=sys.stderr)
+
+
+def _cmd_serve_sweep(args) -> int:
+    """Sweep QPS × security × fleet health; report sustainable capacity."""
+    import os
+
+    from repro.obs import htmlreport
+    from repro.serve import service as serve
+
+    baseline = None
+    if not args.skip_baseline and os.path.exists(args.baseline):
+        from repro.obs import baseline as bl
+
+        baseline = bl.read_run(args.baseline)
+
+    registry = None
+    if args.registry:
+        from repro.obs import registry as regmod
+
+        if os.path.exists(args.registry):
+            registry, status = _load_recorded(
+                regmod.RunRegistry.open, args.registry,
+                hint="repro serve sweep --registry <fresh file>",
+            )
+            if registry is None:
+                return status
+        else:
+            registry = regmod.RunRegistry.create(
+                args.registry,
+                regmod.GridSpec(
+                    workloads=(args.workload,),
+                    backends=("pim",),
+                    security_bits=tuple(sorted(set(args.security))),
+                    healthy=tuple(sorted(set(args.healthy), reverse=True)),
+                    max_batches=1,
+                    seed=args.seed,
+                ),
+            )
+
+    kwargs = dict(
+        workload=args.workload,
+        security_levels=args.security,
+        healthy_grid=args.healthy,
+        qps_grid=args.qps,
+        duration_s=args.duration,
+        seed=args.seed,
+        ops_per_request=args.ops_per_request,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms * 1e-3,
+        baseline=baseline,
+        progress=_serve_progress,
+    )
+    memo_line = None
+    if registry is not None:
+        with registry:
+            doc = serve.sweep_capacity(registry=registry, **kwargs)
+            rollup = next(
+                run["rollups"]["serve"]
+                for run in registry.runs()
+                if run["run_id"] == doc["run_id"]
+            )
+            memo_line = (
+                f"registry: memoized {rollup['memoized']}/"
+                f"{rollup['points']} points ({args.registry})"
+            )
+    else:
+        doc = serve.sweep_capacity(**kwargs)
+
+    print(serve.render_sweep_text(doc))
+    if memo_line:
+        print(memo_line)
+    if args.output:
+        serve.write_serve_sweep(doc, args.output)
+        print(f"wrote sweep document to {args.output}", file=sys.stderr)
+    if args.html:
+        htmlreport.write_serve_report(args.html, doc)
+        print(f"wrote capacity dashboard to {args.html}", file=sys.stderr)
+    if args.chrome:
+        # One representative point's request timelines: the highest
+        # security level at full offered load on the healthiest fleet.
+        spec = _serve_spec_from_args(
+            args,
+            max(args.security),
+            max(args.qps),
+            max(args.healthy),
+        )
+        _write_serve_chrome(args.chrome, serve.simulate(spec).timelines)
+    return serve.baseline_exit_code(doc.get("baseline_check", []))
+
+
+def _cmd_serve_html(args) -> int:
+    """Render a recorded serving sweep as the capacity dashboard."""
+    from repro.obs import htmlreport
+    from repro.serve import service as serve
+
+    doc, status = _load_recorded(
+        serve.read_serve_sweep, args.sweep,
+        hint="repro serve sweep -o <file>",
+    )
+    if doc is None:
+        return status
+    document = htmlreport.render_serve_report(doc)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(document)
@@ -1288,6 +1476,179 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: baselines/noise-history.jsonl)",
     )
     grid_html.set_defaults(func=_cmd_grid_html)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="batched serving model: request-level SLOs, capacity "
+        "sweeps, and the capacity dashboard",
+        description=(
+            "Simulate a deterministic batched serving point over the "
+            "PIM model — seeded open-loop arrivals, per-class batch "
+            "formation, a serial device timeline priced by the exact "
+            "experiment pricing path — and account request-level SLOs "
+            "(streaming latency percentiles, burn rates, error "
+            "budgets). 'sweep' answers the capacity question: the QPS "
+            "one node sustains per security level at each fleet-health "
+            "point. Zero-fault points are cross-checked bit-for-bit "
+            "against the committed perf baseline (MODEL-DRIFT "
+            "otherwise). See docs/observability.md."
+        ),
+    )
+    serve_sub = serve_parser.add_subparsers(
+        dest="serve_command", required=True
+    )
+
+    def _serve_common(p) -> None:
+        p.add_argument(
+            "--workload",
+            default="vec_add",
+            help="request-class workload (default: vec_add)",
+        )
+        p.add_argument(
+            "--duration",
+            type=float,
+            default=0.5,
+            metavar="S",
+            help="modelled arrival window in seconds (default: 0.5)",
+        )
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=0,
+            help="seed for arrivals and the fault plan (default: 0)",
+        )
+        p.add_argument(
+            "--ops-per-request",
+            type=int,
+            default=64,
+            metavar="N",
+            help="ciphertext operations bundled per request (default: 64)",
+        )
+        p.add_argument(
+            "--max-batch",
+            type=int,
+            default=64,
+            metavar="N",
+            help="requests per shared kernel launch (default: 64)",
+        )
+        p.add_argument(
+            "--max-wait-ms",
+            type=float,
+            default=2.0,
+            metavar="MS",
+            help="batch-formation timer in milliseconds (default: 2)",
+        )
+        p.add_argument(
+            "--chrome",
+            metavar="FILE",
+            help="write request timelines as a Perfetto trace "
+            "(one process per request class) to FILE",
+        )
+
+    serve_run = serve_sub.add_parser(
+        "run", help="simulate one serving point and print the SLO report"
+    )
+    serve_run.add_argument(
+        "--security",
+        type=int,
+        default=109,
+        metavar="BITS",
+        help="security level (default: 109)",
+    )
+    serve_run.add_argument(
+        "--qps",
+        type=float,
+        default=1000.0,
+        help="offered request rate (default: 1000)",
+    )
+    serve_run.add_argument(
+        "--healthy",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="fleet-health fraction (default: 1.0)",
+    )
+    serve_run.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the point document JSON to FILE",
+    )
+    _serve_common(serve_run)
+    serve_run.set_defaults(func=_cmd_serve_run)
+
+    serve_sweep = serve_sub.add_parser(
+        "sweep",
+        help="sweep QPS × security × fleet health; report sustainable "
+        "capacity",
+    )
+    serve_sweep.add_argument(
+        "--security",
+        nargs="+",
+        type=int,
+        default=[27, 54, 109],
+        metavar="BITS",
+        help="security levels to sweep (default: 27 54 109)",
+    )
+    serve_sweep.add_argument(
+        "--qps",
+        nargs="+",
+        type=float,
+        default=[1000.0, 4000.0, 16000.0],
+        help="offered rates to sweep (default: 1000 4000 16000)",
+    )
+    serve_sweep.add_argument(
+        "--healthy",
+        nargs="+",
+        type=float,
+        default=[1.0, 0.9, 0.8],
+        metavar="FRACTION",
+        help="fleet-health fractions to sweep (default: 1.0 0.9 0.8)",
+    )
+    serve_sweep.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the sweep document JSON to FILE",
+    )
+    serve_sweep.add_argument(
+        "--html",
+        metavar="FILE",
+        help="write the capacity dashboard HTML to FILE",
+    )
+    serve_sweep.add_argument(
+        "--registry",
+        metavar="DB",
+        help="record points through the run registry at DB (sqlite; "
+        "created if missing): each point is priced at most once, and "
+        "an interrupted sweep resumes with zero recomputation",
+    )
+    serve_sweep.add_argument(
+        "--baseline",
+        default="baselines/perf.json",
+        metavar="FILE",
+        help="perf baseline for the zero-fault bit-identity cross-check "
+        "(default: baselines/perf.json)",
+    )
+    serve_sweep.add_argument(
+        "--skip-baseline",
+        action="store_true",
+        help="skip the zero-fault baseline cross-check",
+    )
+    _serve_common(serve_sweep)
+    serve_sweep.set_defaults(func=_cmd_serve_sweep)
+
+    serve_html = serve_sub.add_parser(
+        "html",
+        help="render a recorded serving sweep as the capacity dashboard",
+    )
+    serve_html.add_argument(
+        "--sweep",
+        default="serve-sweep.json",
+        metavar="FILE",
+        help="sweep JSON recorded by 'repro serve sweep -o' "
+        "(default: serve-sweep.json)",
+    )
+    serve_html.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    serve_html.set_defaults(func=_cmd_serve_html)
 
     profile_parser = sub.add_parser(
         "profile",

@@ -52,6 +52,14 @@ of enumerated parameter combinations (workload × backend × security
 level × fleet health × batch size) with atomic claim/run/record/resume
 semantics, plus a runs ledger for longitudinal trends — driven by
 ``repro grid init|run|status|resume|html``.
+
+PR 7 adds request-level SLO observability: :mod:`repro.obs.slo` turns
+per-request modelled latencies from the :mod:`repro.serve` substrate
+into streaming percentile digests (mergeable, log-bucketed), SLO
+objectives with burn-rate and error-budget accounting, and
+``SLO-OK`` / ``SLO-BREACH`` verdicts — driven by
+``repro serve run|sweep|html`` with the capacity dashboard in
+:func:`repro.obs.htmlreport.render_serve_report`.
 """
 
 from repro.obs.baseline import (
@@ -79,10 +87,12 @@ from repro.obs.htmlreport import (
     render_grid_dashboard,
     render_noise_report,
     render_profile_report,
+    render_serve_report,
     write_dashboard,
     write_faults_report,
     write_grid_dashboard,
     write_noise_report,
+    write_serve_report,
 )
 from repro.obs.noise import (
     NULL_NOISE_LEDGER,
@@ -129,6 +139,14 @@ from repro.obs.perf import (
     exit_code,
     render_check,
     render_diff,
+)
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    VERDICT_SLO_BREACH,
+    VERDICT_SLO_OK,
+    LatencyDigest,
+    SLOObjective,
+    SLOTracker,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -219,4 +237,13 @@ __all__ = [
     # run registry & longitudinal dashboard (repro grid)
     "render_grid_dashboard",
     "write_grid_dashboard",
+    # request-level SLOs & serving capacity (repro serve)
+    "LatencyDigest",
+    "SLOObjective",
+    "SLOTracker",
+    "DEFAULT_OBJECTIVES",
+    "VERDICT_SLO_OK",
+    "VERDICT_SLO_BREACH",
+    "render_serve_report",
+    "write_serve_report",
 ]

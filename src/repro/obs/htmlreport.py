@@ -25,6 +25,8 @@ __all__ = [
     "write_faults_report",
     "render_grid_dashboard",
     "write_grid_dashboard",
+    "render_serve_report",
+    "write_serve_report",
 ]
 
 _BADGE_COLORS = {
@@ -35,6 +37,8 @@ _BADGE_COLORS = {
     _perf.VERDICT_DRIFT: "#e65100",
     "NOISE-DRIFT": "#c62828",
     "partial": "#f9a825",
+    "SLO-OK": "#2e7d32",
+    "SLO-BREACH": "#c62828",
 }
 
 _CSS = """
@@ -1003,3 +1007,145 @@ def write_grid_dashboard(path, cells, runs, spec, **kwargs) -> None:
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(render_grid_dashboard(cells, runs, spec, **kwargs))
+
+
+# -- serving capacity dashboard (repro serve html) ---------------------------
+
+
+def _fmt_point_ms(value) -> str:
+    return "-" if value is None else f"{value:,.3f}"
+
+
+def _capacity_overview(doc: dict) -> str:
+    """Sustainable QPS per security level (rows) × fleet health (cols)."""
+    fractions = [f"{f:g}" for f in doc["healthy"]]
+    head = "".join(
+        f"<th>{_esc(f)} healthy</th>" for f in fractions
+    )
+    body = []
+    for bits in doc["security_levels"]:
+        by_health = doc["cells"][str(bits)]
+        tds = []
+        for fraction in fractions:
+            sustainable = by_health[fraction]["sustainable_qps"]
+            tds.append(
+                f"<td>{sustainable:,.0f}</td>"
+                if sustainable is not None
+                else "<td>breached</td>"
+            )
+        body.append(
+            f"<tr><td>{_esc(doc['workload'])}@{bits}</td>"
+            + "".join(tds)
+            + "</tr>"
+        )
+    return (
+        "<div class='card'><h2>Sustainable QPS "
+        "<span class='meta'>highest offered rate meeting every "
+        "objective</span></h2>"
+        f"<table><tr><th>class</th>{head}</tr>"
+        + "".join(body)
+        + "</table></div>"
+    )
+
+
+def _serve_points_card(doc: dict, bits: int) -> str:
+    """One security level's QPS ladder, one table per health point."""
+    by_health = doc["cells"][str(bits)]
+    parts = ["<div class='card'>", f"<h2>{_esc(doc['workload'])}@{bits}</h2>"]
+    for fraction, entry in by_health.items():
+        p99s = [p["p99_ms"] for p in entry["points"]]
+        parts.append(
+            f"<h3>{_esc(fraction)} healthy "
+            + _sparkline(p99s)
+            + "</h3>"
+        )
+        rows = "".join(
+            f"<tr><td>{p['qps']:,.0f}</td>"
+            f"<td>{p['completed']:,.0f}</td>"
+            f"<td>{p['rejected']:,.0f}</td>"
+            f"<td>{_fmt_point_ms(p['p50_ms'])}</td>"
+            f"<td>{_fmt_point_ms(p['p99_ms'])}</td>"
+            f"<td>{_fmt_point_ms(p['p999_ms'])}</td>"
+            f"<td>{p['max_burn_rate']:.3f}</td>"
+            f"<td>{p['utilization'] * 100:.1f}%</td>"
+            f"<td style='text-align:left'>{_badge(p['verdict'])}</td></tr>"
+            for p in entry["points"]
+        )
+        parts.append(
+            "<table><tr><th>offered qps</th><th>completed</th>"
+            "<th>rejected</th><th>p50 ms</th><th>p99 ms</th>"
+            "<th>p99.9 ms</th><th>burn</th><th>util</th>"
+            "<th style='text-align:left'>verdict</th></tr>"
+            f"{rows}</table>"
+        )
+    return "".join(parts) + "</div>"
+
+
+def render_serve_report(
+    doc: dict, title: str = "repro serving capacity"
+) -> str:
+    """The capacity dashboard for a recorded serving sweep.
+
+    Answers ROADMAP item 2 directly: what QPS can one node sustain at
+    each security level, at each fleet-health point, with p50/p99/p99.9
+    modelled latency and burn rates behind each cell. Rendered from the
+    JSON document ``repro serve sweep -o`` writes
+    (:func:`repro.serve.service.sweep_capacity`); when the sweep
+    carried the zero-fault baseline cross-check, its bit-identity
+    verdicts render too.
+    """
+    objectives = ", ".join(
+        f"{o['name']} ({o['target'] * 100:g}% ≤ {o['threshold_s'] * 1e3:g} ms)"
+        for o in doc.get("objectives", [])
+    )
+    ok = breach = 0
+    for by_health in doc["cells"].values():
+        for entry in by_health.values():
+            for point in entry["points"]:
+                if point["verdict"] == "SLO-OK":
+                    ok += 1
+                else:
+                    breach += 1
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='meta'>{_identity_line(doc)}"
+        f"<br>{_esc(doc['workload'])} · seed {_esc(doc['seed'])} · "
+        f"{_esc(doc['duration_s'])} s window · "
+        f"{_esc(doc['ops_per_request'])} ops/request · batch ≤ "
+        f"{_esc(doc['max_batch'])} within "
+        f"{doc['max_wait_s'] * 1e3:g} ms · fleet {_esc(doc['n_dpus'])} DPUs"
+        f"<br>objectives: {_esc(objectives)}</p>",
+        f"<p>{_badge('SLO-OK')} {ok} {_badge('SLO-BREACH')} {breach} "
+        f"over {ok + breach} points</p>",
+        _capacity_overview(doc),
+    ]
+    for bits in doc["security_levels"]:
+        parts.append(_serve_points_card(doc, bits))
+    checks = doc.get("baseline_check", [])
+    if checks:
+        parts.append(
+            "<div class='card'><h2>Zero-fault baseline cross-check "
+            "<span class='meta'>serving pricer vs the committed perf "
+            "baseline, bit-for-bit</span></h2><p>"
+            + " ".join(
+                _badge(v["verdict"]) + f" {_esc(v['experiment'])}"
+                for v in checks
+            )
+            + (
+                " — <strong>gate fails</strong>"
+                if any(v["verdict"] == "MODEL-DRIFT" for v in checks)
+                else " — gate passes"
+            )
+            + "</p></div>"
+        )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_serve_report(path, doc, **kwargs) -> None:
+    """Render and write the serving capacity dashboard."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_serve_report(doc, **kwargs))

@@ -134,6 +134,57 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, p: float):
+        """Estimated value at percentile ``p`` (0-100), or ``None``.
+
+        Linear interpolation inside the containing bucket, with the
+        recorded ``min``/``max`` tightening the first and last occupied
+        buckets (so a single sample — or all-equal samples — return the
+        exact value, and p0/p100 are exactly ``min``/``max``). Estimates
+        are always clamped to the observed ``[min, max]`` range.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ParameterError(f"percentile must be in [0, 100]: {p}")
+        if self.count == 0:
+            return None
+        if p == 0.0:
+            return self.min
+        if p == 100.0:
+            return self.max
+        target = p / 100.0 * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            below = cumulative
+            cumulative += n
+            if cumulative >= target:
+                lo = self.bounds[i - 1] if i > 0 else self.min
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return min(max(lo, self.min), self.max)
+                value = lo + (target - below) / n * (hi - lo)
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical bounds into this one."""
+        if self.bounds != other.bounds:
+            raise ParameterError(
+                f"cannot merge histograms with different buckets: "
+                f"{len(self.bounds)} vs {len(other.bounds)} bounds"
+            )
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+
     def snapshot(self) -> dict:
         return {
             "type": self.kind,

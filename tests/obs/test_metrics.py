@@ -1,6 +1,8 @@
 """Metrics registry: instruments, tally fold-in, null defaults."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ParameterError
 from repro.mpint.cost import OpTally
@@ -71,6 +73,135 @@ class TestHistogram:
         snapshot = MetricsRegistry().histogram("h").snapshot()
         assert snapshot["count"] == 0
         assert snapshot["mean"] == 0.0
+
+
+def _hist(values, buckets=(1.0, 10.0, 100.0)):
+    histogram = MetricsRegistry().histogram("h", buckets=buckets)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class TestHistogramPercentile:
+    """Boundary and interpolation semantics of Histogram.percentile."""
+
+    def test_empty_histogram_has_no_percentiles(self):
+        assert _hist([]).percentile(50) is None
+        assert _hist([]).percentile(0) is None
+        assert _hist([]).percentile(100) is None
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = _hist([3.0])
+        for p in (0, 1, 50, 99, 100):
+            assert histogram.percentile(p) == 3.0
+
+    def test_p0_is_min_and_p100_is_max(self):
+        histogram = _hist([0.5, 2.0, 50.0, 500.0])
+        assert histogram.percentile(0) == 0.5
+        assert histogram.percentile(100) == 500.0
+
+    def test_out_of_range_p_rejected(self):
+        histogram = _hist([1.0])
+        with pytest.raises(ParameterError):
+            histogram.percentile(-0.1)
+        with pytest.raises(ParameterError):
+            histogram.percentile(100.1)
+
+    def test_value_on_bucket_edge(self):
+        # 1.0 lands in the first bucket (le_1); the degenerate
+        # lo == hi == 1.0 interval must not divide by zero.
+        histogram = _hist([1.0, 1.0])
+        assert histogram.percentile(50) == 1.0
+        assert histogram.percentile(100) == 1.0
+
+    def test_overflow_bucket_clamps_to_max(self):
+        histogram = _hist([500.0, 600.0])  # both past the last bound
+        assert histogram.percentile(99) <= 600.0
+        assert histogram.percentile(1) >= 500.0
+
+    def test_interpolates_within_a_bucket(self):
+        # Four samples in (1, 10]: p50 targets 2 of 4, mid-bucket.
+        histogram = _hist([2.0, 4.0, 6.0, 8.0])
+        estimate = histogram.percentile(50)
+        assert 1.0 < estimate < 10.0
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=900.0),
+            min_size=1,
+            max_size=40,
+        ),
+        p=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_always_within_observed_range(self, values, p):
+        histogram = _hist(values)
+        estimate = histogram.percentile(p)
+        assert estimate is not None
+        assert min(values) <= estimate <= max(values)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=900.0),
+            min_size=1,
+            max_size=40,
+        ),
+        p_lo=st.floats(min_value=0.0, max_value=100.0),
+        p_hi=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_p(self, values, p_lo, p_hi):
+        if p_lo > p_hi:
+            p_lo, p_hi = p_hi, p_lo
+        histogram = _hist(values)
+        assert histogram.percentile(p_lo) <= histogram.percentile(p_hi)
+
+
+class TestHistogramMerge:
+    def test_merge_accumulates_everything(self):
+        a = _hist([0.5, 2.0])
+        b = _hist([50.0, 500.0])
+        a.merge(b)
+        assert a.count == 4
+        assert a.sum == pytest.approx(552.5)
+        assert a.min == 0.5
+        assert a.max == 500.0
+
+    def test_merge_into_empty(self):
+        a = _hist([])
+        a.merge(_hist([2.0]))
+        assert a.count == 1
+        assert a.min == a.max == 2.0
+
+    def test_merge_empty_is_identity(self):
+        a = _hist([2.0, 3.0])
+        before = a.snapshot()
+        a.merge(_hist([]))
+        assert a.snapshot() == before
+
+    def test_merge_mismatched_buckets_rejected(self):
+        with pytest.raises(ParameterError):
+            _hist([]).merge(_hist([], buckets=(1.0, 2.0)))
+
+    @given(
+        left=st.lists(
+            st.floats(min_value=0.01, max_value=900.0), max_size=20
+        ),
+        right=st.lists(
+            st.floats(min_value=0.01, max_value=900.0), max_size=20
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_combined_observation(self, left, right):
+        merged = _hist(left)
+        merged.merge(_hist(right))
+        combined = _hist(left + right).snapshot()
+        snapshot = merged.snapshot()
+        # Sums (and the derived mean) accumulate in different orders;
+        # everything else is exact.
+        for key in ("sum", "mean"):
+            assert snapshot.pop(key) == pytest.approx(combined.pop(key))
+        assert snapshot == combined
 
 
 class TestRegistry:

@@ -2,9 +2,9 @@
 
 Drives record → check → report through the real CLI against the tiny
 security levels, then locks the ``EXIT_DATA`` (2) convention for
-*every* baseline-consuming subcommand — perf and noise alike — so
-"nothing recorded yet" can never regress into a traceback or be
-confused with a tripped gate (exit 1).
+*every* recorded-artifact-consuming subcommand — perf, noise, faults,
+grid, and serve alike — so "nothing recorded yet" can never regress
+into a traceback or be confused with a tripped gate (exit 1).
 """
 
 from __future__ import annotations
@@ -84,28 +84,34 @@ class TestNoiseCliEndToEnd:
 
 
 class TestExitDataConvention:
-    """Exit 2 = "no recorded data yet", for perf AND noise, everywhere."""
+    """Exit 2 = "no recorded data yet", for every subcommand family."""
 
     def test_the_convention_itself(self):
         assert EXIT_DATA == 2  # 1 means "failed"; 2 means "no data yet"
 
+    _RECORDED = ("--baseline", "--history")
+
     @pytest.mark.parametrize(
-        "argv",
+        ("argv", "flags"),
         [
-            ["noise", "check"],
-            ["noise", "report"],
-            ["perf", "check"],
-            ["perf", "diff", "a", "b"],
-            ["perf", "html"],
+            (["noise", "check"], _RECORDED),
+            (["noise", "report"], _RECORDED),
+            (["perf", "check"], _RECORDED),
+            (["perf", "diff", "a", "b"], _RECORDED),
+            (["perf", "html"], _RECORDED),
+            (["faults", "html"], ("--sweep",)),
+            (["serve", "html"], ("--sweep",)),
+            (["grid", "status"], ("--db",)),
         ],
-        ids=lambda argv: "-".join(argv[:2]),
+        ids=lambda value: (
+            "-".join(value[:2]) if isinstance(value, list) else None
+        ),
     )
-    def test_missing_data_exits_two(self, argv, tmp_path, capsys):
-        missing = {
-            "--baseline": str(tmp_path / "absent.json"),
-            "--history": str(tmp_path / "absent.jsonl"),
-        }
-        status = main(argv + [k for kv in missing.items() for k in kv])
+    def test_missing_data_exits_two(self, argv, flags, tmp_path, capsys):
+        extra = []
+        for index, flag in enumerate(flags):
+            extra += [flag, str(tmp_path / f"absent-{index}.json")]
+        status = main(argv + extra)
         captured = capsys.readouterr()
         assert status == EXIT_DATA
         assert "record a run first" in captured.err

@@ -1,0 +1,49 @@
+"""Seeded open-loop arrivals: determinism, ordering, rate semantics."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serve import OpenLoopArrivals
+
+
+class TestOpenLoopArrivals:
+    def test_same_seed_is_bit_identical(self):
+        a = OpenLoopArrivals("vec_add@109", 1000.0, seed=7)
+        b = OpenLoopArrivals("vec_add@109", 1000.0, seed=7)
+        assert a.times_until(0.25) == b.times_until(0.25)
+
+    def test_different_seeds_differ(self):
+        a = OpenLoopArrivals("vec_add@109", 1000.0, seed=0)
+        b = OpenLoopArrivals("vec_add@109", 1000.0, seed=1)
+        assert a.times_until(0.25) != b.times_until(0.25)
+
+    def test_different_classes_draw_independently(self):
+        a = OpenLoopArrivals("vec_add@109", 1000.0, seed=0)
+        b = OpenLoopArrivals("vec_mul@109", 1000.0, seed=0)
+        assert a.times_until(0.25) != b.times_until(0.25)
+
+    def test_strictly_increasing_within_window(self):
+        times = OpenLoopArrivals("k", 5000.0, seed=3).times_until(0.1)
+        assert times == sorted(times)
+        assert all(0.0 < t < 0.1 for t in times)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_rate_sets_the_expected_count(self):
+        # Poisson with rate 2000/s over 1 s: ~2000 arrivals; 10
+        # standard deviations of slack keeps this deterministic test
+        # meaningful without being brittle.
+        times = OpenLoopArrivals("k", 2000.0, seed=0).times_until(1.0)
+        assert abs(len(times) - 2000) < 10 * 2000**0.5
+
+    def test_doubling_the_rate_roughly_doubles_arrivals(self):
+        slow = len(OpenLoopArrivals("k", 1000.0, seed=0).times_until(1.0))
+        fast = len(OpenLoopArrivals("k", 2000.0, seed=0).times_until(1.0))
+        assert fast == pytest.approx(2 * slow, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            OpenLoopArrivals("k", 0.0)
+        with pytest.raises(ParameterError):
+            OpenLoopArrivals("k", -5.0)
+        with pytest.raises(ParameterError):
+            OpenLoopArrivals("k", 100.0).times_until(0.0)
