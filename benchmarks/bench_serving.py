@@ -23,10 +23,11 @@ _SPEC = ServeSpec(
 )
 
 
-def _point_gauges(registry, report) -> None:
+def _point_gauges(registry, report, energy=None) -> None:
     """Publish one serving report as gauges on ``registry``."""
     latency = report["latency"]
     burns = [o["burn_rate"] for o in report["objectives"]]
+    energy = energy or {}
     for name, value in (
         ("serve.qps_completed", report["qps_completed"]),
         ("serve.completed", float(report["completed"])),
@@ -35,9 +36,13 @@ def _point_gauges(registry, report) -> None:
         ("serve.p99_ms", latency["p99_ms"]),
         ("serve.p999_ms", latency["p999_ms"]),
         ("serve.max_burn_rate", max(burns) if burns else 0.0),
+        ("energy.joules.total", energy.get("total_j")),
+        ("energy.watts_avg", energy.get("avg_watts")),
+        ("energy.joules_per_request", energy.get("j_per_request")),
+        ("movement.bytes.total", energy.get("movement_bytes")),
     ):
         if value is not None:
-            registry.gauge(name).set(value)
+            registry.gauge(name).set(float(value))
 
 
 def test_bench_serving_point(benchmark, _metrics_log, _run_identity):
@@ -53,7 +58,7 @@ def test_bench_serving_point(benchmark, _metrics_log, _run_identity):
     assert report["completed"] == len(result.timelines)
     assert report["rejected"] == 0
 
-    _point_gauges(registry, report)
+    _point_gauges(registry, report, energy=result.doc.get("energy"))
     with open(_metrics_log, "a") as handle:
         handle.write(
             json.dumps(

@@ -134,6 +134,18 @@ class Backend(abc.ABC):
     def _price(self, request: OpRequest) -> TimingBreakdown:
         """Modelled execution time for one request (the cost model)."""
 
+    def energy_profile(self, request: OpRequest, breakdown: TimingBreakdown):
+        """Energy and movement of one priced request, or ``None``.
+
+        Processor-centric backends return the dict from
+        :func:`repro.obs.energy.op_energy` (full-envelope joules plus
+        host-memory traffic bytes); the PIM backend returns ``None``
+        because its energy is priced mechanistically per kernel inside
+        the runtime. Only consulted when observability is enabled —
+        the pricing itself never depends on it.
+        """
+        return None
+
     def time_op(self, request: OpRequest) -> TimingBreakdown:
         """Price one request, emitting a span and metrics if enabled."""
         tracer = get_tracer()
@@ -156,10 +168,24 @@ class Backend(abc.ABC):
             span.set_attr("modelled_s", breakdown.seconds)
             for key, value in breakdown.detail.items():
                 span.set_attr(f"detail.{key}", value)
+            profile = self.energy_profile(request, breakdown)
+            if profile is not None:
+                span.set_attr("energy_j", profile["joules"])
+                span.set_attr(
+                    f"movement_{profile['traffic_level']}_bytes",
+                    profile["traffic_bytes"],
+                )
         registry.counter(f"backend.{self.name}.requests").inc()
         registry.histogram(f"backend.{self.name}.modelled_s").observe(
             breakdown.seconds
         )
+        if profile is not None:
+            registry.counter(f"energy.joules.{self.name}").inc(
+                profile["joules"]
+            )
+            registry.counter(
+                f"movement.bytes.{profile['traffic_level']}"
+            ).inc(profile["traffic_bytes"])
         return breakdown
 
     def time_ops(self, requests) -> float:

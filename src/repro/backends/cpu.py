@@ -90,5 +90,12 @@ class CustomCPUBackend(Backend):
             },
         )
 
+    def energy_profile(self, request: OpRequest, breakdown: TimingBreakdown):
+        from repro.obs.energy import op_energy
+
+        return op_energy(
+            self.name, breakdown.seconds, container_traffic_bytes(request)
+        )
+
     def describe(self) -> str:
         return "custom CPU: " + self.spec.describe()

@@ -87,5 +87,13 @@ class SEALBackend(Backend):
             },
         )
 
+    def energy_profile(self, request: OpRequest, breakdown: TimingBreakdown):
+        from repro.obs.energy import op_energy
+
+        k = self.spec.rns_limbs(request.width_bits)
+        return op_energy(
+            self.name, breakdown.seconds, rns_traffic_bytes(request, k)
+        )
+
     def describe(self) -> str:
         return "CPU-SEAL: " + self.spec.describe()

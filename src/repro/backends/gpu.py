@@ -80,5 +80,15 @@ class GPUBackend(Backend):
             },
         )
 
+    def energy_profile(self, request: OpRequest, breakdown: TimingBreakdown):
+        from repro.obs.energy import op_energy
+
+        return op_energy(
+            self.name,
+            breakdown.seconds,
+            container_traffic_bytes(request),
+            traffic_level="hbm",
+        )
+
     def describe(self) -> str:
         return "custom GPU: " + self.spec.describe()

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.backends.base import Backend, OpRequest, TimingBreakdown
 from repro.core.params import BFVParameters
+from repro.obs.energy import kernel_energy
 from repro.pim.kernels import (
     ReduceSumKernel,
     TensorMulKernel,
@@ -73,6 +74,7 @@ class PIMBackend(Backend):
             launches=request.launches,
             include_transfer=self.include_transfer,
         )
+        energy = kernel_energy(timing)
         return TimingBreakdown(
             backend=self.name,
             op=request.op,
@@ -86,6 +88,8 @@ class PIMBackend(Backend):
                 "bound": "compute" if timing.compute_bound else "dma",
                 "transfer_s": timing.host_to_dpu_seconds
                 + timing.dpu_to_host_seconds,
+                "energy_j": energy.total_j,
+                "movement_bytes": energy.total_bytes,
             },
         )
 

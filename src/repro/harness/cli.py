@@ -19,6 +19,12 @@ Subcommands:
   seeded predicted-vs-measured budget trajectories per security
   level, gate the growth model against them (``NOISE-DRIFT``), and
   render the budget-vs-depth HTML report;
+* ``energy record|check|report`` — modelled energy & data movement:
+  record per-experiment joules (DPU pipeline/idle/DMA split, host-link
+  transfers, CPU/GPU TDP envelopes) and bytes moved per memory level,
+  gate the deterministic model against the committed baseline
+  (``ENERGY-DRIFT``), and render the energy-per-op / EDP / movement
+  dashboard;
 * ``faults run|sweep|html`` — the chaos harness: run experiments under
   a seeded fault plan (disabled DPUs, transient launches, transfer
   corruption, stuck tasklets), sweep the fig1/fig2 experiments across
@@ -321,6 +327,79 @@ def _cmd_noise_report(args) -> int:
             hint="repro noise record",
         )
     document = htmlreport.render_noise_report(current, baseline)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _cmd_energy_record(args) -> int:
+    """Capture the modelled-energy baseline and append the history."""
+    from repro.obs import energy as en
+
+    doc = en.capture_energy_run(ids=args.ids or None, progress=_progress)
+    en.write_energy_run(doc, args.baseline)
+    en.append_energy_history(doc, args.history)
+    total_j = sum(
+        exp["joules"].get("pim", 0.0) for exp in doc["experiments"].values()
+    )
+    print(
+        f"recorded modelled energy for {len(doc['experiments'])} "
+        f"experiments ({total_j:.4g} J on pim) as run "
+        f"{doc['run_id'][:12]} (git {str(doc['git_sha'])[:12]})"
+    )
+    print(f"baseline written to {args.baseline}; history at {args.history}")
+    return 0
+
+
+def _cmd_energy_check(args) -> int:
+    """Re-price the experiments and gate against the energy baseline."""
+    from repro.obs import energy as en
+
+    baseline, status = _load_recorded(
+        en.read_energy_run, args.baseline, hint="repro energy record"
+    )
+    if baseline is None:
+        return status
+    current = en.capture_energy_run(
+        ids=list(baseline["experiments"]), progress=_progress
+    )
+    en.append_energy_history(current, args.history)
+    verdicts = en.check_energy_runs(baseline, current)
+    print(en.render_energy_check(verdicts, baseline, current))
+    if args.update:
+        en.write_energy_run(current, args.baseline)
+        print(f"energy baseline re-recorded: {args.baseline}")
+        return 0
+    return en.exit_code(verdicts)
+
+
+def _cmd_energy_report(args) -> int:
+    """Render the newest recorded energy run as a standalone HTML report."""
+    import os
+
+    from repro.obs import energy as en
+    from repro.obs import htmlreport
+
+    history = en.read_energy_history(args.history)
+    baseline = (
+        en.read_energy_run(args.baseline)
+        if os.path.exists(args.baseline)
+        else None
+    )
+    current = history[-1] if history else baseline
+    if current is None:
+        return _no_data(
+            f"no energy history at {args.history} and no baseline at "
+            f"{args.baseline} — nothing to render",
+            hint="repro energy record",
+        )
+    document = htmlreport.render_energy_report(
+        current, baseline, history=history
+    )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(document)
@@ -1182,6 +1261,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _noise_common(noise_report)
     noise_report.set_defaults(func=_cmd_noise_report)
+
+    energy_parser = sub.add_parser(
+        "energy",
+        help="modelled energy & data movement: record, gate, and report "
+        "joules and bytes moved per experiment",
+        description=(
+            "Price every experiment's modelled energy (DPU "
+            "pipeline/idle/DMA split, host-link transfers, CPU/GPU TDP "
+            "envelopes) and the bytes it moves at each memory level, "
+            "and gate the model against the committed baseline: "
+            "modelled joules are deterministic, so any difference is "
+            "ENERGY-DRIFT. See docs/observability.md."
+        ),
+    )
+    energy_sub = energy_parser.add_subparsers(
+        dest="energy_command", required=True
+    )
+
+    def _energy_common(p) -> None:
+        from repro.obs.energy import (
+            DEFAULT_BASELINE_PATH,
+            DEFAULT_HISTORY_PATH,
+        )
+
+        p.add_argument(
+            "--baseline",
+            default=DEFAULT_BASELINE_PATH,
+            metavar="FILE",
+            help=f"energy baseline JSON (default: {DEFAULT_BASELINE_PATH})",
+        )
+        p.add_argument(
+            "--history",
+            default=DEFAULT_HISTORY_PATH,
+            metavar="FILE",
+            help=f"run-history JSONL (default: {DEFAULT_HISTORY_PATH})",
+        )
+
+    energy_record = energy_sub.add_parser(
+        "record", help="capture the modelled-energy baseline"
+    )
+    energy_record.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to record (default: the fast set)",
+    )
+    _energy_common(energy_record)
+    energy_record.set_defaults(func=_cmd_energy_record)
+
+    energy_check = energy_sub.add_parser(
+        "check", help="re-price the experiments and gate against the baseline"
+    )
+    energy_check.add_argument(
+        "--update",
+        action="store_true",
+        help="adopt the current run as the new baseline (exit 0)",
+    )
+    _energy_common(energy_check)
+    energy_check.set_defaults(func=_cmd_energy_check)
+
+    energy_report = energy_sub.add_parser(
+        "report",
+        help="render energy-per-op, EDP, and movement bars as "
+        "standalone HTML",
+    )
+    energy_report.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    _energy_common(energy_report)
+    energy_report.set_defaults(func=_cmd_energy_report)
 
     faults_parser = sub.add_parser(
         "faults",

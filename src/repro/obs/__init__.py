@@ -60,6 +60,17 @@ objectives with burn-rate and error-budget accounting, and
 ``SLO-OK`` / ``SLO-BREACH`` verdicts — driven by
 ``repro serve run|sweep|html`` with the capacity dashboard in
 :func:`repro.obs.htmlreport.render_serve_report`.
+
+PR 8 adds the *energy* dimension: :mod:`repro.obs.energy` prices every
+modelled kernel's joules mechanistically from its timing decomposition
+(DPU pipeline-active vs idle, WRAM↔MRAM DMA per byte, host-link
+transfers, CPU/GPU TDP envelopes — constants with provenance in
+:class:`~repro.obs.energy.EnergyConfig`), attributes the bytes moved at
+each memory level to ``movement.bytes.*`` counters and span
+attributes, and gates the deterministic model against the committed
+``baselines/energy.json`` (``ENERGY-DRIFT``) — driven by
+``repro energy record|check|report`` with the dashboard in
+:func:`repro.obs.htmlreport.render_energy_report`.
 """
 
 from repro.obs.baseline import (
@@ -70,6 +81,27 @@ from repro.obs.baseline import (
     read_history,
     read_run,
     write_run,
+)
+from repro.obs.energy import (
+    DEFAULT_ENERGY_CONFIG,
+    EnergyConfig,
+    EnergyVerdict,
+    KernelEnergy,
+    append_energy_history,
+    capture_energy_experiment,
+    capture_energy_run,
+    check_energy_runs,
+    energy_rollup,
+    get_energy_config,
+    kernel_energy,
+    movement_bytes,
+    op_energy,
+    read_energy_history,
+    read_energy_run,
+    render_energy_check,
+    set_energy_config,
+    use_energy_config,
+    write_energy_run,
 )
 from repro.obs.runident import git_sha, run_identity
 from repro.obs.export import (
@@ -83,12 +115,14 @@ from repro.obs.export import (
 )
 from repro.obs.htmlreport import (
     render_dashboard,
+    render_energy_report,
     render_faults_report,
     render_grid_dashboard,
     render_noise_report,
     render_profile_report,
     render_serve_report,
     write_dashboard,
+    write_energy_report,
     write_faults_report,
     write_grid_dashboard,
     write_noise_report,
@@ -246,4 +280,26 @@ __all__ = [
     "VERDICT_SLO_BREACH",
     "render_serve_report",
     "write_serve_report",
+    # energy & data movement (repro energy)
+    "EnergyConfig",
+    "DEFAULT_ENERGY_CONFIG",
+    "KernelEnergy",
+    "EnergyVerdict",
+    "get_energy_config",
+    "set_energy_config",
+    "use_energy_config",
+    "kernel_energy",
+    "movement_bytes",
+    "op_energy",
+    "energy_rollup",
+    "capture_energy_experiment",
+    "capture_energy_run",
+    "check_energy_runs",
+    "read_energy_run",
+    "write_energy_run",
+    "append_energy_history",
+    "read_energy_history",
+    "render_energy_check",
+    "render_energy_report",
+    "write_energy_report",
 ]

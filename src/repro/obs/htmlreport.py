@@ -27,6 +27,8 @@ __all__ = [
     "write_grid_dashboard",
     "render_serve_report",
     "write_serve_report",
+    "render_energy_report",
+    "write_energy_report",
 ]
 
 _BADGE_COLORS = {
@@ -39,6 +41,7 @@ _BADGE_COLORS = {
     "partial": "#f9a825",
     "SLO-OK": "#2e7d32",
     "SLO-BREACH": "#c62828",
+    "ENERGY-DRIFT": "#c62828",
 }
 
 _CSS = """
@@ -84,7 +87,17 @@ def _badge(verdict: str) -> str:
     return f'<span class="badge" style="background:{color}">{_esc(verdict)}</span>'
 
 
-def _sparkline(values, width: int = 160, height: int = 36) -> str:
+def _fmt_ms_value(value: float) -> str:
+    return f"{value * 1e3:.2f} ms"
+
+
+def _sparkline(
+    values,
+    width: int = 160,
+    height: int = 36,
+    label: str = "wall median",
+    fmt=_fmt_ms_value,
+) -> str:
     """An inline SVG polyline of a value series (left = oldest)."""
     points = [v for v in values if v is not None]
     if len(points) < 2:
@@ -100,8 +113,8 @@ def _sparkline(values, width: int = 160, height: int = 36) -> str:
     )
     last_y = height - pad - (points[-1] - lo) / span * (height - 2 * pad)
     title = (
-        f"wall median trend over {len(points)} runs: "
-        f"min {lo * 1e3:.2f} ms, max {hi * 1e3:.2f} ms"
+        f"{label} trend over {len(points)} runs: "
+        f"min {fmt(lo)}, max {fmt(hi)}"
     )
     return (
         f'<svg class="spark" width="{width}" height="{height}" '
@@ -154,6 +167,77 @@ def _identity_line(doc: dict) -> str:
         f"{_esc(doc.get('created_at', '?'))} · "
         f"git <code>{_esc(str(doc.get('git_sha'))[:12])}</code>"
     )
+
+
+def _page_head(title: str, extra_css: str = "") -> list:
+    """The shared document prologue every report starts with."""
+    return [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}{extra_css}</style>"
+        "</head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+
+
+#: The shared document epilogue (the counterpart of :func:`_page_head`).
+_PAGE_FOOT = "</body></html>"
+
+
+def _verdict_summary(verdicts, failed: bool) -> str:
+    """Verdict-count badges plus the gate outcome, as one paragraph.
+
+    ``verdicts`` is an iterable of verdict *strings* (callers pass
+    ``v.verdict`` for their verdict objects).
+    """
+    counts: dict = {}
+    for verdict in verdicts:
+        counts[verdict] = counts.get(verdict, 0) + 1
+    return (
+        "<p>"
+        + " ".join(f"{_badge(k)} {n}" for k, n in sorted(counts.items()))
+        + (
+            " — <strong>gate fails</strong>"
+            if failed
+            else " — gate passes"
+        )
+        + "</p>"
+    )
+
+
+def _gate_card(
+    heading: str, subtitle: str, badges, failed: bool, notes=()
+) -> str:
+    """A gate-outcome card: per-item badges and the pass/fail verdict.
+
+    ``badges`` is an iterable of ``(verdict, label)`` pairs.
+    """
+    parts = [
+        f"<div class='card'><h2>{_esc(heading)} "
+        f"<span class='meta'>{_esc(subtitle)}</span></h2><p>",
+        " ".join(_badge(v) + f" {_esc(label)}" for v, label in badges),
+        (
+            " — <strong>gate fails</strong>"
+            if failed
+            else " — gate passes"
+        ),
+        "</p>",
+    ]
+    notes = list(notes)
+    if notes:
+        parts.append(
+            "<ul>"
+            + "".join(f"<li>{_esc(note)}</li>" for note in notes)
+            + "</ul>"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def _write_html(path, html: str) -> None:
+    """Write a rendered report, creating parent directories."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(html)
 
 
 # -- pipeline profiles ------------------------------------------------------
@@ -268,17 +352,13 @@ def render_profile_report(
     stats — the HTML face of ``repro profile``.
     """
     profiles = list(profiles)
-    parts = [
-        "<!doctype html><html><head><meta charset='utf-8'>",
-        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
-        f"<h1>{_esc(title)}</h1>",
-    ]
+    parts = _page_head(title)
     if not profiles:
         parts.append(
             "<p class='meta'>No PIM kernel launches to profile.</p>"
         )
     parts.extend(_profile_section(p) for p in profiles)
-    parts.append("</body></html>")
+    parts.append(_PAGE_FOOT)
     return "".join(parts)
 
 
@@ -399,31 +479,21 @@ def render_noise_report(
         verdicts = _ng.check_noise_runs(baseline, current)
         verdict_by_key = {v.key: v for v in verdicts}
 
-    parts = [
-        "<!doctype html><html><head><meta charset='utf-8'>",
-        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
-        f"<h1>{_esc(title)}</h1>",
+    parts = _page_head(title)
+    parts.append(
         f"<p class='meta'>current: {_identity_line(current)}"
         + (
             f"<br>baseline: {_identity_line(baseline)}"
             if baseline is not None
             else ""
         )
-        + "</p>",
-    ]
+        + "</p>"
+    )
     if verdicts:
-        counts: dict = {}
-        for v in verdicts:
-            counts[v.verdict] = counts.get(v.verdict, 0) + 1
         parts.append(
-            "<p>"
-            + " ".join(f"{_badge(k)} {n}" for k, n in sorted(counts.items()))
-            + (
-                " — <strong>gate fails</strong>"
-                if _ng.exit_code(verdicts)
-                else " — gate passes"
+            _verdict_summary(
+                (v.verdict for v in verdicts), bool(_ng.exit_code(verdicts))
             )
-            + "</p>"
         )
     for bits, level in sorted(
         current["levels"].items(), key=lambda item: int(item[0])
@@ -431,15 +501,13 @@ def render_noise_report(
         for name, shape in level["workloads"].items():
             verdict = verdict_by_key.get(f"{bits}b/{name}")
             parts.append(_noise_card(bits, name, shape, verdict))
-    parts.append("</body></html>")
+    parts.append(_PAGE_FOOT)
     return "".join(parts)
 
 
 def write_noise_report(path, current, baseline=None, **kwargs) -> None:
     """Render and write the noise-calibration HTML file."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_noise_report(current, baseline, **kwargs))
+    _write_html(path, render_noise_report(current, baseline, **kwargs))
 
 
 # -- degraded-fleet availability card (repro faults) ------------------------
@@ -541,27 +609,23 @@ def render_faults_report(
     from the JSON document ``repro faults sweep -o`` writes
     (:func:`repro.harness.chaos.sweep_degraded_fleet`).
     """
-    parts = [
-        "<!doctype html><html><head><meta charset='utf-8'>",
-        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
-        f"<h1>{_esc(title)}</h1>",
+    parts = _page_head(title)
+    parts.append(
         f"<p class='meta'>{_identity_line(doc)}"
         f"<br>seed {_esc(doc.get('seed'))} · fleet "
         f"{_esc(doc.get('n_dpus'))} DPUs · grid "
         + ", ".join(f"{f * 100:.0f}%" for f in doc.get("grid", []))
-        + "</p>",
-    ]
+        + "</p>"
+    )
     for eid, entry in doc.get("experiments", {}).items():
         parts.append(_faults_card(eid, entry))
-    parts.append("</body></html>")
+    parts.append(_PAGE_FOOT)
     return "".join(parts)
 
 
 def write_faults_report(path, doc, **kwargs) -> None:
     """Render and write the degraded-fleet sweep HTML card."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_faults_report(doc, **kwargs))
+    _write_html(path, render_faults_report(doc, **kwargs))
 
 
 def render_dashboard(
@@ -588,11 +652,7 @@ def render_dashboard(
         verdicts = _perf.check_runs(baseline, current, skip_wall=skip_wall)
         verdict_by_exp = {v.experiment: v for v in verdicts}
 
-    parts = [
-        "<!doctype html><html><head><meta charset='utf-8'>",
-        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
-        f"<h1>{_esc(title)}</h1>",
-    ]
+    parts = _page_head(title)
     if current is None:
         parts.append(
             "<p class='meta'>No recorded runs yet — run "
@@ -601,7 +661,7 @@ def render_dashboard(
         if profiles:
             parts.append("<h2>Pipeline profiles</h2>")
             parts.extend(_profile_section(p) for p in profiles)
-        parts.append("</body></html>")
+        parts.append(_PAGE_FOOT)
         return "".join(parts)
 
     parts.append(
@@ -615,20 +675,11 @@ def render_dashboard(
         + "</p>"
     )
     if verdicts:
-        counts: dict = {}
-        for v in verdicts:
-            counts[v.verdict] = counts.get(v.verdict, 0) + 1
         parts.append(
-            "<p>"
-            + " ".join(
-                f"{_badge(k)} {n}" for k, n in sorted(counts.items())
+            _verdict_summary(
+                (v.verdict for v in verdicts),
+                bool(_perf.exit_code(verdicts)),
             )
-            + (
-                " — <strong>gate fails</strong>"
-                if _perf.exit_code(verdicts)
-                else " — gate passes"
-            )
-            + "</p>"
         )
 
     for eid, exp in current["experiments"].items():
@@ -676,15 +727,13 @@ def render_dashboard(
     if profiles:
         parts.append("<h2>Pipeline profiles</h2>")
         parts.extend(_profile_section(p) for p in profiles)
-    parts.append("</body></html>")
+    parts.append(_PAGE_FOOT)
     return "".join(parts)
 
 
 def write_dashboard(path, history, baseline=None, **kwargs) -> None:
     """Render and write the dashboard HTML file."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_dashboard(history, baseline, **kwargs))
+    _write_html(path, render_dashboard(history, baseline, **kwargs))
 
 
 # -- longitudinal grid dashboard (repro grid html) ---------------------------
@@ -933,13 +982,14 @@ def render_grid_dashboard(
     counts: dict = {}
     for cell in cells:
         counts[cell["status"]] = counts.get(cell["status"], 0) + 1
-    parts = [
-        "<!doctype html><html><head><meta charset='utf-8'>",
-        f"<title>{_esc(title)}</title><style>{_CSS}"
-        ".gridcell { display: inline-block; width: .9em; height: .9em;"
-        " border-radius: 2px; margin: 1px; vertical-align: middle; }"
-        "</style></head><body>",
-        f"<h1>{_esc(title)}</h1>",
+    parts = _page_head(
+        title,
+        extra_css=(
+            ".gridcell { display: inline-block; width: .9em; height: .9em;"
+            " border-radius: 2px; margin: 1px; vertical-align: middle; }"
+        ),
+    )
+    parts.extend([
         f"<p class='meta'>{len(cells)} cells — "
         + " · ".join(
             f"{status}: {n}" for status, n in sorted(counts.items())
@@ -950,7 +1000,7 @@ def render_grid_dashboard(
         )
         + "</p>",
         _heatmap_legend(),
-    ]
+    ])
 
     by_workload: dict = {}
     for cell in cells:
@@ -964,31 +1014,13 @@ def render_grid_dashboard(
     verdicts = _registry.check_against_baseline(cells, baseline)
     if verdicts:
         parts.append(
-            "<div class='card'><h2>Baseline cross-check "
-            "<span class='meta'>fault-free cells vs the committed perf "
-            "baseline</span></h2><p>"
-            + " ".join(
-                _badge(v.verdict) + f" {_esc(v.experiment)}"
-                for v in verdicts
+            _gate_card(
+                "Baseline cross-check",
+                "fault-free cells vs the committed perf baseline",
+                [(v.verdict, v.experiment) for v in verdicts],
+                bool(_registry.exit_code(verdicts)),
+                notes=[note for v in verdicts for note in v.notes],
             )
-            + (
-                " — <strong>gate fails</strong>"
-                if _registry.exit_code(verdicts)
-                else " — gate passes"
-            )
-            + "</p>"
-            + (
-                "<ul>"
-                + "".join(
-                    f"<li>{_esc(note)}</li>"
-                    for v in verdicts
-                    for note in v.notes
-                )
-                + "</ul>"
-                if any(v.notes for v in verdicts)
-                else ""
-            )
-            + "</div>"
         )
 
     parts.append(
@@ -998,15 +1030,13 @@ def render_grid_dashboard(
             )
         )
     )
-    parts.append("</body></html>")
+    parts.append(_PAGE_FOOT)
     return "".join(parts)
 
 
 def write_grid_dashboard(path, cells, runs, spec, **kwargs) -> None:
     """Render and write the longitudinal grid dashboard."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_grid_dashboard(cells, runs, spec, **kwargs))
+    _write_html(path, render_grid_dashboard(cells, runs, spec, **kwargs))
 
 
 # -- serving capacity dashboard (repro serve html) ---------------------------
@@ -1068,13 +1098,24 @@ def _serve_points_card(doc: dict, bits: int) -> str:
             f"<td>{_fmt_point_ms(p['p999_ms'])}</td>"
             f"<td>{p['max_burn_rate']:.3f}</td>"
             f"<td>{p['utilization'] * 100:.1f}%</td>"
-            f"<td style='text-align:left'>{_badge(p['verdict'])}</td></tr>"
+            + (
+                f"<td>{p['energy_j']:.3f}</td>"
+                if p.get("energy_j") is not None
+                else "<td>-</td>"
+            )
+            + (
+                f"<td>{p['avg_watts']:.1f}</td>"
+                if p.get("avg_watts") is not None
+                else "<td>-</td>"
+            )
+            + f"<td style='text-align:left'>{_badge(p['verdict'])}</td></tr>"
             for p in entry["points"]
         )
         parts.append(
             "<table><tr><th>offered qps</th><th>completed</th>"
             "<th>rejected</th><th>p50 ms</th><th>p99 ms</th>"
             "<th>p99.9 ms</th><th>burn</th><th>util</th>"
+            "<th>energy J</th><th>avg W</th>"
             "<th style='text-align:left'>verdict</th></tr>"
             f"{rows}</table>"
         )
@@ -1106,10 +1147,8 @@ def render_serve_report(
                     ok += 1
                 else:
                     breach += 1
-    parts = [
-        "<!doctype html><html><head><meta charset='utf-8'>",
-        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
-        f"<h1>{_esc(title)}</h1>",
+    parts = _page_head(title)
+    parts.extend([
         f"<p class='meta'>{_identity_line(doc)}"
         f"<br>{_esc(doc['workload'])} · seed {_esc(doc['seed'])} · "
         f"{_esc(doc['duration_s'])} s window · "
@@ -1120,32 +1159,219 @@ def render_serve_report(
         f"<p>{_badge('SLO-OK')} {ok} {_badge('SLO-BREACH')} {breach} "
         f"over {ok + breach} points</p>",
         _capacity_overview(doc),
-    ]
+    ])
     for bits in doc["security_levels"]:
         parts.append(_serve_points_card(doc, bits))
     checks = doc.get("baseline_check", [])
     if checks:
         parts.append(
-            "<div class='card'><h2>Zero-fault baseline cross-check "
-            "<span class='meta'>serving pricer vs the committed perf "
-            "baseline, bit-for-bit</span></h2><p>"
-            + " ".join(
-                _badge(v["verdict"]) + f" {_esc(v['experiment'])}"
-                for v in checks
+            _gate_card(
+                "Zero-fault baseline cross-check",
+                "serving pricer vs the committed perf baseline, "
+                "bit-for-bit",
+                [(v["verdict"], v["experiment"]) for v in checks],
+                any(v["verdict"] == "MODEL-DRIFT" for v in checks),
             )
-            + (
-                " — <strong>gate fails</strong>"
-                if any(v["verdict"] == "MODEL-DRIFT" for v in checks)
-                else " — gate passes"
-            )
-            + "</p></div>"
         )
-    parts.append("</body></html>")
+    parts.append(_PAGE_FOOT)
     return "".join(parts)
 
 
 def write_serve_report(path, doc, **kwargs) -> None:
     """Render and write the serving capacity dashboard."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_serve_report(doc, **kwargs))
+    _write_html(path, render_serve_report(doc, **kwargs))
+
+
+# -- energy & data movement (repro energy report) ----------------------------
+
+#: Memory-level colors for the movement stacked bars.
+_MOVE_COLORS = {
+    "wram_mram": "#2e7d32",
+    "host_to_dpu": "#1565c0",
+    "dpu_to_host": "#6a1b9a",
+    "host_dram": "#e65100",
+    "hbm": "#f9a825",
+}
+
+_MOVE_LABELS = {
+    "wram_mram": "WRAM↔MRAM DMA",
+    "host_to_dpu": "host→DPU (DDR)",
+    "dpu_to_host": "DPU→host (DDR)",
+    "host_dram": "host DRAM stream",
+    "hbm": "GPU HBM stream",
+}
+
+
+def _movement_bar(movement: dict) -> str:
+    """Bytes moved per memory level as one stacked horizontal bar."""
+    total = sum(movement.values())
+    if not total:
+        return '<span class="meta">(no bytes moved)</span>'
+    segments = "".join(
+        f'<span style="width:{value / total * 100:.2f}%;'
+        f'background:{_MOVE_COLORS.get(level, "#555")}" '
+        f'title="{_esc(_MOVE_LABELS.get(level, level))}: '
+        f"{value:,.0f} bytes ({value / total * 100:.1f}%)\"></span>"
+        for level, value in sorted(movement.items())
+        if value > 0
+    )
+    return f'<div class="occbar">{segments}</div>'
+
+
+def _movement_legend(levels) -> str:
+    return (
+        '<p class="meta legend">'
+        + "".join(
+            f'<span class="swatch" '
+            f'style="background:{_MOVE_COLORS.get(level, "#555")}"></span>'
+            f"{_esc(_MOVE_LABELS.get(level, level))}"
+            for level in sorted(levels)
+        )
+        + "</p>"
+    )
+
+
+def _energy_card(eid: str, exp: dict, verdict, history) -> str:
+    """One experiment's energy-per-op / EDP / movement card."""
+    joules = exp.get("joules", {})
+    modelled = exp.get("modelled_s", {})
+    edp = exp.get("edp_js", {})
+    pim_j = joules.get("pim")
+    trend = [
+        doc["experiments"][eid]["joules"].get("pim")
+        if eid in doc.get("experiments", {})
+        else None
+        for doc in history
+    ]
+    parts = ["<div class='card'>"]
+    parts.append(
+        f"<h2>{_esc(eid)} "
+        + (_badge(verdict.verdict) if verdict else "")
+        + _sparkline(
+            trend, label="pim energy", fmt=lambda v: f"{v:.4g} J"
+        )
+        + "</h2>"
+    )
+    if verdict and verdict.notes:
+        parts.append(
+            "<ul>"
+            + "".join(f"<li>{_esc(note)}</li>" for note in verdict.notes)
+            + "</ul>"
+        )
+    rows = []
+    for backend in sorted(joules):
+        seconds = modelled.get(backend)
+        ratio = (
+            f"{joules[backend] / pim_j:,.1f}×"
+            if pim_j and backend != "pim"
+            else ("1×" if backend == "pim" and pim_j else "-")
+        )
+        rows.append(
+            f"<tr><td>{_esc(backend)}</td>"
+            f"<td>{joules[backend]:.6g}</td>"
+            + (
+                f"<td>{seconds * 1e3:,.3f}</td>"
+                if seconds is not None
+                else "<td>-</td>"
+            )
+            + (
+                f"<td>{edp[backend]:.6g}</td>"
+                if backend in edp
+                else "<td>-</td>"
+            )
+            + f"<td>{ratio}</td></tr>"
+        )
+    if rows:
+        parts.append(
+            "<table><tr><th>backend</th><th>energy [J]</th>"
+            "<th>modelled ms</th><th>EDP [J·s]</th>"
+            "<th>vs pim</th></tr>" + "".join(rows) + "</table>"
+        )
+    movement = exp.get("movement_bytes", {})
+    if movement:
+        parts.append(
+            f"<p class='meta'>data movement: "
+            f"{sum(movement.values()):,.0f} bytes</p>"
+        )
+        parts.append(_movement_bar(movement))
+    kernels = exp.get("pim_kernels", {})
+    if kernels:
+        kernel_rows = "".join(
+            f"<tr><td>{_esc(name)}</td><td>{value:.6g}</td></tr>"
+            for name, value in sorted(kernels.items())
+        )
+        parts.append(
+            "<details><summary>PIM energy by kernel</summary>"
+            "<table><tr><th>kernel</th><th>energy [J]</th></tr>"
+            f"{kernel_rows}</table></details>"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def render_energy_report(
+    current: dict,
+    baseline: dict | None = None,
+    history=None,
+    title: str = "repro energy & data movement",
+) -> str:
+    """The energy/movement dashboard for a recorded energy run.
+
+    One card per experiment: modelled joules per backend with the
+    energy-delay product and the PIM advantage ratio, the
+    movement-bytes stacked bar across memory levels, and the per-kernel
+    PIM energy split. With a ``baseline``, the same ``ENERGY-DRIFT``
+    verdict badges as ``repro energy check``
+    (:func:`repro.obs.energy.check_energy_runs`); with a ``history``,
+    a PIM-joules trend sparkline per experiment.
+    """
+    from repro.obs import energy as _energy
+
+    history = list(history or [])
+    verdict_by_exp: dict = {}
+    verdicts = []
+    if baseline is not None:
+        verdicts = _energy.check_energy_runs(baseline, current)
+        verdict_by_exp = {v.experiment: v for v in verdicts}
+
+    config = current.get("config", {})
+    parts = _page_head(title)
+    parts.append(
+        f"<p class='meta'>current: {_identity_line(current)}"
+        + (
+            f"<br>baseline: {_identity_line(baseline)}"
+            if baseline is not None
+            else ""
+        )
+        + f"<br>constants: DPU {config.get('dpu_active_watts', 0):g} W "
+        f"active / {config.get('dpu_idle_watts', 0):g} W idle · MRAM DMA "
+        f"{config.get('mram_dma_pj_per_byte', 0):g} pJ/B · DDR link "
+        f"{config.get('host_link_pj_per_byte', 0):g} pJ/B · CPU "
+        f"{config.get('cpu_watts', 0):g} W · GPU "
+        f"{config.get('gpu_watts', 0):g} W</p>"
+    )
+    if verdicts:
+        parts.append(
+            _verdict_summary(
+                (v.verdict for v in verdicts),
+                bool(_energy.exit_code(verdicts)),
+            )
+        )
+    levels = {
+        level
+        for exp in current.get("experiments", {}).values()
+        for level in exp.get("movement_bytes", {})
+    }
+    if levels:
+        parts.append(_movement_legend(levels))
+    for eid, exp in current.get("experiments", {}).items():
+        parts.append(
+            _energy_card(eid, exp, verdict_by_exp.get(eid), history)
+        )
+    parts.append(_PAGE_FOOT)
+    return "".join(parts)
+
+
+def write_energy_report(path, current, baseline=None, **kwargs) -> None:
+    """Render and write the energy/movement dashboard."""
+    _write_html(path, render_energy_report(current, baseline, **kwargs))

@@ -48,6 +48,7 @@ from repro.backends import get_backend
 from repro.backends.registry import BACKEND_ORDER
 from repro.errors import ParameterError
 from repro.obs import baseline as _bl
+from repro.obs import energy as _energy
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.runident import run_identity
 from repro.workloads.linreg import LinearRegressionWorkload
@@ -802,6 +803,7 @@ def _record_drain(
     """Roll one drain up into the runs ledger; returns the run doc."""
     cells = registry.cells()
     verdicts = check_against_baseline(cells, baseline)
+    snapshot = metrics.snapshot()
     doc = dict(identity)
     doc.update(
         {
@@ -814,7 +816,8 @@ def _record_drain(
             "rollups": {
                 "experiments": experiment_totals(cells),
                 "workloads": workload_totals(cells),
-                "counters": _bl._counter_rollup(metrics.snapshot()),
+                "counters": _bl._counter_rollup(snapshot),
+                "energy": _energy.energy_rollup(snapshot),
                 "verdicts": [
                     {
                         "experiment": v.experiment,

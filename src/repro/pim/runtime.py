@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ParameterError, PermanentDeviceError
+from repro.obs.energy import kernel_energy
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.pim.config import UPMEMConfig
@@ -237,7 +238,21 @@ class PIMRuntime:
                 include_transfer, plan,
             )
             span.set_attrs(timing.as_attrs())
+            energy = kernel_energy(timing)
+            span.set_attrs(energy.as_attrs())
         registry.counter("pim.kernel_launches").inc(launches)
+        registry.counter(f"energy.joules.pim.{kernel.name}").inc(
+            energy.total_j
+        )
+        registry.counter("movement.bytes.wram_mram").inc(
+            energy.wram_mram_bytes
+        )
+        registry.counter("movement.bytes.host_to_dpu").inc(
+            energy.host_to_dpu_bytes
+        )
+        registry.counter("movement.bytes.dpu_to_host").inc(
+            energy.dpu_to_host_bytes
+        )
         registry.counter(f"pim.kernels.{kernel.name}").inc()
         registry.counter(
             "pim.compute_bound" if timing.compute_bound else "pim.dma_bound"

@@ -255,8 +255,8 @@ def _make_pricer(spec: ServeSpec):
             cls.security_bits, ops
         )
         seconds = 0.0
-        launch_s = kernel_s = transfer_s = 0.0
-        dpus_used = 0
+        launch_s = kernel_s = transfer_s = energy_j = 0.0
+        dpus_used = movement_bytes = 0
         bound = "?"
         for request in workload.device_requests():
             breakdown = backend.time_op(request)
@@ -265,6 +265,8 @@ def _make_pricer(spec: ServeSpec):
             launch_s += float(detail.get("launch_s", 0.0))
             kernel_s += float(detail.get("kernel_s", 0.0))
             transfer_s += float(detail.get("transfer_s", 0.0))
+            energy_j += float(detail.get("energy_j", 0.0))
+            movement_bytes += int(detail.get("movement_bytes", 0))
             dpus_used = max(dpus_used, int(detail.get("dpus_used", 0)))
             bound = str(detail.get("bound", bound))
         merged = TimingBreakdown(
@@ -278,6 +280,8 @@ def _make_pricer(spec: ServeSpec):
                 "dpus_used": dpus_used,
                 "bound": bound,
                 "ops": ops,
+                "energy_j": energy_j,
+                "movement_bytes": movement_bytes,
             },
         )
         cache[(class_key, batch_size)] = merged
@@ -330,9 +334,20 @@ def simulate(spec: ServeSpec) -> ServeResult:
     for timeline in timelines:
         trackers[timeline.class_key].observe(timeline.latency_s)
         registry.histogram("serve.latency_s").observe(timeline.latency_s)
+    energy_total_j = 0.0
+    movement_total_bytes = 0
     for launch in launches:
         registry.counter("serve.launches").inc()
         registry.histogram("serve.batch_size").observe(launch.batch_size)
+        # Guaranteed cache hit: the scheduler priced every
+        # (class, batch) pair through this same memoizing pricer, so
+        # this reuses the fault-plan-priced breakdown verbatim.
+        priced = pricer(launch.class_key, launch.batch_size)
+        energy_total_j += float(priced.detail.get("energy_j", 0.0))
+        movement_total_bytes += int(priced.detail.get("movement_bytes", 0))
+    if launches:
+        registry.counter("serve.energy_j").inc(energy_total_j)
+        registry.counter("serve.movement_bytes").inc(movement_total_bytes)
 
     busy_s = sum(l.complete_s - l.service_start_s for l in launches)
     horizon = max(
@@ -361,6 +376,15 @@ def simulate(spec: ServeSpec) -> ServeResult:
         "utilization": busy_s / horizon if horizon > 0 else 0.0,
     }
     doc["launches"] = [l.to_dict() for l in launches]
+    completed = sum(r["completed"] for r in reports.values())
+    doc["energy"] = {
+        "total_j": energy_total_j,
+        "avg_watts": energy_total_j / horizon if horizon > 0 else 0.0,
+        "j_per_request": (
+            energy_total_j / completed if completed else None
+        ),
+        "movement_bytes": movement_total_bytes,
+    }
     doc["verdict"] = VERDICT_SLO_BREACH if breached else VERDICT_SLO_OK
     return ServeResult(
         spec=spec,
@@ -385,6 +409,9 @@ _POINT_METRICS = (
     "qps_completed",
     "max_burn_rate",
     "utilization",
+    "energy_j",
+    "avg_watts",
+    "j_per_request",
 )
 
 
@@ -403,6 +430,9 @@ def _point_summary(result: ServeResult, class_key: str) -> dict:
         "qps_completed": report.get("qps_completed", 0.0),
         "max_burn_rate": max(burns) if burns else 0.0,
         "utilization": result.doc["device"]["utilization"],
+        "energy_j": result.doc["energy"]["total_j"],
+        "avg_watts": result.doc["energy"]["avg_watts"],
+        "j_per_request": result.doc["energy"]["j_per_request"],
     }
 
 
@@ -574,6 +604,12 @@ def sweep_capacity(
                             for entry in by_health.values()
                             for p in entry["points"]
                             if p["verdict"] == VERDICT_SLO_BREACH
+                        ),
+                        "energy_j": sum(
+                            p["energy_j"]
+                            for by_health in cells.values()
+                            for entry in by_health.values()
+                            for p in entry["points"]
                         ),
                     }
                 },
@@ -762,6 +798,18 @@ def render_point_text(result: ServeResult) -> str:
         f"{device['horizon_s'] * 1e3:,.2f} ms "
         f"({device['utilization'] * 100:.1f}% utilized)"
     )
+    energy = doc["energy"]
+    per_request = energy["j_per_request"]
+    lines.append(
+        f"energy: {energy['total_j']:.3f} J modelled "
+        f"({energy['avg_watts']:.1f} W avg, "
+        + (
+            f"{per_request * 1e3:.3f} mJ/request, "
+            if per_request is not None
+            else "no completed requests, "
+        )
+        + f"{energy['movement_bytes']:,} bytes moved)"
+    )
     lines.append(f"point verdict: {doc['verdict']}")
     return "\n".join(lines)
 
@@ -774,6 +822,7 @@ def render_sweep_text(doc: dict) -> str:
         f"ops/request, fleet {doc['n_dpus']} DPUs"
     ]
     ok = breach = 0
+    total_energy_j = 0.0
     sustainable_lines = []
     for bits in doc["security_levels"]:
         by_health = doc["cells"][str(bits)]
@@ -788,6 +837,7 @@ def render_sweep_text(doc: dict) -> str:
                     ok += 1
                 else:
                     breach += 1
+                total_energy_j += point.get("energy_j") or 0.0
                 lines.append(
                     f"  {point['qps']:8g}  {point['completed']:9g}  "
                     f"{_fmt_ms(point['p50_ms'])}  {_fmt_ms(point['p99_ms'])}  "
@@ -806,6 +856,9 @@ def render_sweep_text(doc: dict) -> str:
     lines.append(
         f"\nSLO verdict summary: {ok} SLO-OK, {breach} SLO-BREACH over "
         f"{ok + breach} points"
+    )
+    lines.append(
+        f"modelled energy: {total_energy_j:.3f} J across all points"
     )
     lines.append("sustainable QPS:")
     lines.extend(sustainable_lines)

@@ -96,6 +96,8 @@ class TestExitDataConvention:
         [
             (["noise", "check"], _RECORDED),
             (["noise", "report"], _RECORDED),
+            (["energy", "check"], _RECORDED),
+            (["energy", "report"], _RECORDED),
             (["perf", "check"], _RECORDED),
             (["perf", "diff", "a", "b"], _RECORDED),
             (["perf", "html"], _RECORDED),
