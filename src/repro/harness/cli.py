@@ -42,7 +42,16 @@ Subcommands:
   (latency decomposition, streaming percentiles, burn rates), sweep
   offered QPS × security level × fleet health for sustainable
   capacity (``--registry`` makes the sweep resumable), and render the
-  capacity dashboard.
+  capacity dashboard;
+* ``why <experiment> --against <baseline|run-id>`` — drift forensics:
+  re-run one experiment and attribute any drift span by span
+  (path-aligned self-time deltas), over the exact model surface, and
+  against the energy ledger, with CUSUM change points locating when
+  each longitudinal series first shifted; non-zero exit on drift;
+* ``forensics html|shifts`` — differential flamegraphs (HTML +
+  collapsed-stack text) between two recorded runs, and the
+  change-point scan over every longitudinal store (perf / energy /
+  noise histories, the grid runs ledger).
 
 Installed as both ``repro-experiments`` and the shorter ``repro``.
 
@@ -259,6 +268,148 @@ def _cmd_perf_html(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(document)
+    return 0
+
+
+def _cmd_why(args) -> int:
+    """Drift forensics for one experiment against a recorded baseline."""
+    import os
+
+    from repro.obs import baseline as bl
+    from repro.obs import energy as en
+    from repro.obs import forensics as fx
+    from repro.obs import htmlreport
+
+    baseline_run, status = _load_recorded(
+        bl.find_run, args.against, args.history
+    )
+    if baseline_run is None:
+        return status
+    if args.experiment not in baseline_run.get("experiments", {}):
+        return _no_data(
+            f"experiment {args.experiment!r} is not in the baseline run",
+            hint=f"repro perf record {args.experiment}",
+        )
+    energy_baseline = (
+        en.read_energy_run(args.energy_baseline)
+        if os.path.exists(args.energy_baseline)
+        else None
+    )
+    report = fx.why_report(
+        args.experiment,
+        baseline_run,
+        energy_baseline=energy_baseline,
+        history=bl.read_history(args.history),
+        energy_history=en.read_energy_history(args.energy_history),
+        top_k=args.top,
+    )
+    print(fx.render_why(report))
+    if args.html:
+        htmlreport.write_forensics_report(args.html, report)
+        print(f"wrote {args.html}")
+    if args.collapsed:
+        with open(args.collapsed, "w") as handle:
+            handle.write(
+                fx.to_diff_collapsed(
+                    report["families"]["spans"]["aligned"]
+                )
+            )
+        print(f"wrote {args.collapsed}")
+    return fx.why_exit_code(report)
+
+
+def _cmd_forensics_html(args) -> int:
+    """Differential flamegraph report between two recorded runs."""
+    from repro.obs import baseline as bl
+    from repro.obs import forensics as fx
+    from repro.obs import htmlreport
+
+    run_a, status = _load_recorded(bl.find_run, args.run_a, args.history)
+    if run_a is None:
+        return status
+    if args.run_b == "latest":
+        history = bl.read_history(args.history)
+        if not history:
+            return _no_data(
+                f"no run history at {args.history} (missing or empty)"
+            )
+        run_b = history[-1]
+    else:
+        run_b, status = _load_recorded(
+            bl.find_run, args.run_b, args.history
+        )
+        if run_b is None:
+            return status
+    report = fx.diff_report(
+        run_a, run_b, experiments=args.ids or None, top_k=args.top
+    )
+    document = htmlreport.render_forensics_report(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    if args.collapsed:
+        with open(args.collapsed, "w") as handle:
+            for eid in sorted(report["experiments"]):
+                handle.write(
+                    fx.to_diff_collapsed(
+                        report["experiments"][eid]["spans"]["aligned"]
+                    )
+                )
+        print(f"wrote {args.collapsed}")
+    return 0
+
+
+def _cmd_forensics_shifts(args) -> int:
+    """CUSUM change-point scan over every longitudinal store."""
+    import json as _json
+    import os
+
+    from repro.errors import ParameterError
+    from repro.obs import baseline as bl
+    from repro.obs import energy as en
+    from repro.obs import forensics as fx
+    from repro.obs import noisegate as ng
+
+    series: dict = {}
+    sources = []
+    perf_history = bl.read_history(args.history)
+    if perf_history:
+        series.update(fx.perf_series(perf_history))
+        sources.append(f"perf:{args.history}")
+    energy_history = en.read_energy_history(args.energy_history)
+    if energy_history:
+        series.update(fx.energy_series(energy_history))
+        sources.append(f"energy:{args.energy_history}")
+    noise_history = ng.read_noise_history(args.noise_history)
+    if noise_history:
+        series.update(fx.noise_series(noise_history))
+        sources.append(f"noise:{args.noise_history}")
+    if os.path.exists(args.db):
+        from repro.obs.registry import RunRegistry
+
+        try:
+            with RunRegistry.open(args.db) as registry:
+                runs = registry.runs()
+        except ParameterError:
+            runs = []
+        if runs:
+            series.update(fx.registry_series(runs))
+            sources.append(f"grid:{args.db}")
+    if not series:
+        return _no_data(
+            "no longitudinal history found (perf, energy, noise, or "
+            "registry ledger)"
+        )
+    shifts = fx.scan_shifts(series, k_rel=args.k_rel, h_mult=args.h_mult)
+    print(f"scanned {len(series)} series from {', '.join(sources)}")
+    print(fx.render_shifts(shifts))
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump(shifts, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -1179,6 +1330,183 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _perf_common(html_parser)
     html_parser.set_defaults(func=_cmd_perf_html)
+
+    from repro.obs.baseline import (
+        DEFAULT_BASELINE_PATH as _PERF_BASELINE,
+        DEFAULT_HISTORY_PATH as _PERF_HISTORY,
+    )
+    from repro.obs.energy import (
+        DEFAULT_BASELINE_PATH as _ENERGY_BASELINE,
+        DEFAULT_HISTORY_PATH as _ENERGY_HISTORY,
+    )
+    from repro.obs.forensics import H_MULT as _H_MULT
+    from repro.obs.forensics import K_REL as _K_REL
+    from repro.obs.noisegate import DEFAULT_HISTORY_PATH as _NOISE_HISTORY
+    from repro.obs.registry import DEFAULT_DB_PATH as _GRID_DB
+
+    why_parser = sub.add_parser(
+        "why",
+        help="drift forensics: explain one experiment's drift against a "
+        "recorded baseline",
+        description=(
+            "Re-run one experiment and attribute any drift against a "
+            "recorded baseline: span-path-aligned self-time deltas "
+            "(which span moved), the exact model surface (series "
+            "totals, counters, transfer split), the energy ledger, and "
+            "CUSUM change points over the longitudinal history (when "
+            "it started). Non-zero exit on any drift. See "
+            "docs/observability.md."
+        ),
+    )
+    why_parser.add_argument(
+        "experiment", help="experiment id (run 'repro list')"
+    )
+    why_parser.add_argument(
+        "--against",
+        default=_PERF_BASELINE,
+        metavar="BASELINE|RUN-ID",
+        help="baseline JSON file, or run-id prefix in the history "
+        f"(default: {_PERF_BASELINE})",
+    )
+    why_parser.add_argument(
+        "--history",
+        default=_PERF_HISTORY,
+        metavar="FILE",
+        help=f"run-history JSONL (default: {_PERF_HISTORY})",
+    )
+    why_parser.add_argument(
+        "--energy-baseline",
+        default=_ENERGY_BASELINE,
+        metavar="FILE",
+        help="energy baseline JSON; the energy family is skipped when "
+        f"absent (default: {_ENERGY_BASELINE})",
+    )
+    why_parser.add_argument(
+        "--energy-history",
+        default=_ENERGY_HISTORY,
+        metavar="FILE",
+        help=f"energy-history JSONL (default: {_ENERGY_HISTORY})",
+    )
+    why_parser.add_argument(
+        "--top", type=int, default=10, help="contributors per family"
+    )
+    why_parser.add_argument(
+        "--html",
+        metavar="FILE",
+        help="write the forensics HTML report (differential flamegraph) "
+        "to FILE",
+    )
+    why_parser.add_argument(
+        "--collapsed",
+        metavar="FILE",
+        help="write the differential collapsed-stack text to FILE",
+    )
+    why_parser.set_defaults(func=_cmd_why)
+
+    forensics_parser = sub.add_parser(
+        "forensics",
+        help="differential flamegraphs and change-point scans over "
+        "recorded runs",
+        description=(
+            "Run-comparison forensics over the recorded stores: "
+            "'html' aligns two recorded runs span by span and renders "
+            "differential flamegraphs; 'shifts' runs CUSUM "
+            "change-point detection over every longitudinal series "
+            "(perf, energy, noise histories and the grid runs ledger), "
+            "flagging the first git SHA of each shift."
+        ),
+    )
+    forensics_sub = forensics_parser.add_subparsers(
+        dest="forensics_command", required=True
+    )
+
+    forensics_html = forensics_sub.add_parser(
+        "html",
+        help="differential flamegraph report between two recorded runs",
+    )
+    forensics_html.add_argument(
+        "ids", nargs="*", help="restrict to these experiments"
+    )
+    forensics_html.add_argument(
+        "--run-a",
+        default=_PERF_BASELINE,
+        metavar="RUN",
+        help="run JSON file, or run-id prefix in the history "
+        f"(default: {_PERF_BASELINE})",
+    )
+    forensics_html.add_argument(
+        "--run-b",
+        default="latest",
+        metavar="RUN",
+        help="run JSON file, run-id prefix, or 'latest' "
+        "(default: the newest history entry)",
+    )
+    forensics_html.add_argument(
+        "--history",
+        default=_PERF_HISTORY,
+        metavar="FILE",
+        help=f"run-history JSONL (default: {_PERF_HISTORY})",
+    )
+    forensics_html.add_argument(
+        "--top", type=int, default=10, help="contributors per experiment"
+    )
+    forensics_html.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    forensics_html.add_argument(
+        "--collapsed",
+        metavar="FILE",
+        help="write the differential collapsed-stack text to FILE",
+    )
+    forensics_html.set_defaults(func=_cmd_forensics_html)
+
+    forensics_shifts = forensics_sub.add_parser(
+        "shifts",
+        help="CUSUM change-point scan over the longitudinal stores",
+    )
+    forensics_shifts.add_argument(
+        "--history",
+        default=_PERF_HISTORY,
+        metavar="FILE",
+        help=f"perf-history JSONL (default: {_PERF_HISTORY})",
+    )
+    forensics_shifts.add_argument(
+        "--energy-history",
+        default=_ENERGY_HISTORY,
+        metavar="FILE",
+        help=f"energy-history JSONL (default: {_ENERGY_HISTORY})",
+    )
+    forensics_shifts.add_argument(
+        "--noise-history",
+        default=_NOISE_HISTORY,
+        metavar="FILE",
+        help=f"noise-history JSONL (default: {_NOISE_HISTORY})",
+    )
+    forensics_shifts.add_argument(
+        "--db",
+        default=_GRID_DB,
+        metavar="FILE",
+        help="run-registry database; skipped when absent "
+        f"(default: {_GRID_DB})",
+    )
+    forensics_shifts.add_argument(
+        "--k-rel",
+        type=float,
+        default=_K_REL,
+        help="CUSUM allowance as a fraction of the regime mean "
+        f"(default: {_K_REL})",
+    )
+    forensics_shifts.add_argument(
+        "--h-mult",
+        type=float,
+        default=_H_MULT,
+        help="CUSUM decision threshold in allowances "
+        f"(default: {_H_MULT})",
+    )
+    forensics_shifts.add_argument(
+        "--json", metavar="FILE", help="write the shift records as JSON"
+    )
+    forensics_shifts.set_defaults(func=_cmd_forensics_shifts)
 
     noise_parser = sub.add_parser(
         "noise",

@@ -71,6 +71,20 @@ attributes, and gates the deterministic model against the committed
 ``baselines/energy.json`` (``ENERGY-DRIFT``) — driven by
 ``repro energy record|check|report`` with the dashboard in
 :func:`repro.obs.htmlreport.render_energy_report`.
+
+PR 9 adds drift *forensics* — the first layer to join all four gate
+families (MODEL-DRIFT, NOISE-DRIFT, ENERGY-DRIFT, SLO) behind one
+attribution engine: :mod:`repro.obs.forensics` aligns two recorded
+runs by span path (self-vs-children time split from
+:func:`repro.obs.export.path_tree`), ranks the top drift contributors
+per family, runs CUSUM change-point detection over the longitudinal
+histories (``baselines/*history.jsonl``) and the registry runs ledger
+to flag the first git SHA of each shift, and exports differential
+flamegraphs — collapsed-stack text (:func:`repro.obs.export.to_collapsed`
+/ :func:`repro.obs.forensics.to_diff_collapsed`) and self-contained
+HTML (:func:`repro.obs.htmlreport.render_forensics_report`) — driven
+by ``repro why <experiment> --against <baseline|run-id>`` and
+``repro forensics html|shifts``.
 """
 
 from repro.obs.baseline import (
@@ -103,20 +117,39 @@ from repro.obs.energy import (
     use_energy_config,
     write_energy_run,
 )
+from repro.obs.forensics import (
+    align_trees,
+    comparable_trees,
+    cusum_changepoints,
+    detect_shifts,
+    diff_report,
+    rank_contributors,
+    render_shifts,
+    render_why,
+    scan_shifts,
+    to_diff_collapsed,
+    tree_from_attribution,
+    why_exit_code,
+    why_report,
+)
 from repro.obs.runident import git_sha, run_identity
 from repro.obs.export import (
     merge_chrome_traces,
+    path_tree,
     read_jsonl,
     render_time_tree,
     span_to_dict,
     to_chrome_trace,
+    to_collapsed,
     write_chrome_trace,
+    write_collapsed,
     write_jsonl,
 )
 from repro.obs.htmlreport import (
     render_dashboard,
     render_energy_report,
     render_faults_report,
+    render_forensics_report,
     render_grid_dashboard,
     render_noise_report,
     render_profile_report,
@@ -124,6 +157,7 @@ from repro.obs.htmlreport import (
     write_dashboard,
     write_energy_report,
     write_faults_report,
+    write_forensics_report,
     write_grid_dashboard,
     write_noise_report,
     write_serve_report,
@@ -302,4 +336,23 @@ __all__ = [
     "render_energy_check",
     "render_energy_report",
     "write_energy_report",
+    # drift forensics (repro why / repro forensics)
+    "path_tree",
+    "to_collapsed",
+    "write_collapsed",
+    "tree_from_attribution",
+    "comparable_trees",
+    "align_trees",
+    "rank_contributors",
+    "to_diff_collapsed",
+    "why_report",
+    "diff_report",
+    "why_exit_code",
+    "render_why",
+    "cusum_changepoints",
+    "detect_shifts",
+    "scan_shifts",
+    "render_shifts",
+    "render_forensics_report",
+    "write_forensics_report",
 ]

@@ -11,8 +11,11 @@ recorded experiment:
 * the **observability rollups** from one traced evaluation: kernel
   launches, compute-vs-DMA bound counts, limb-operation tallies,
   the host<->DPU transfer split summed from every
-  :class:`~repro.pim.runtime.KernelTiming`, and a per-span-name
-  attribution table (count / wall / modelled seconds) for diffing.
+  :class:`~repro.pim.runtime.KernelTiming`, a per-span-name
+  attribution table (count / wall / modelled seconds) for diffing, and
+  a path-keyed span table with self-vs-children time split
+  (:func:`repro.obs.export.path_tree`) that
+  :mod:`repro.obs.forensics` aligns between runs.
 
 A **baseline** is simply a committed run record
 (``baselines/perf.json``); :mod:`repro.obs.perf` compares fresh runs
@@ -36,6 +39,7 @@ import statistics
 from time import perf_counter
 
 from repro.errors import ParameterError
+from repro.obs.export import path_tree
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.runident import git_sha, run_identity
 from repro.obs.trace import Tracer, use_tracer
@@ -208,6 +212,7 @@ def capture_experiment(experiment_id: str, repeats: int = 3) -> dict:
         "counters": _counter_rollup(registry.snapshot()),
         "transfer": _transfer_split(spans),
         "attribution": _attribution(spans),
+        "paths": path_tree(spans),
     }
 
 

@@ -71,6 +71,7 @@ __all__ = [
     "append_energy_history",
     "read_energy_history",
     "check_energy_runs",
+    "exact_diffs",
     "exit_code",
     "render_energy_check",
 ]
@@ -555,6 +556,11 @@ def _exact_diffs(label: str, base, cur) -> list:
     if base != cur:
         notes.append(f"{label}: baseline {base!r} -> current {cur!r}")
     return notes
+
+
+#: Public name: drift forensics (:mod:`repro.obs.forensics`) renders its
+#: energy family with the same recursive exact-diff notes as the gate.
+exact_diffs = _exact_diffs
 
 
 def check_energy_runs(baseline: dict, current: dict) -> list:

@@ -12,7 +12,11 @@ Three consumers of the same finished-span list:
   ``args``;
 * **text tree** (:func:`render_time_tree`): an aggregated terminal
   report attributing wall and modelled time down the span hierarchy —
-  the quick "where did the time go" answer.
+  the quick "where did the time go" answer;
+* **path table** (:func:`path_tree` / :func:`to_collapsed`): the same
+  hierarchy as a flat path-keyed table with self-vs-children time
+  split, the alignment substrate for :mod:`repro.obs.forensics` and
+  the collapsed-stack flamegraph export.
 """
 
 from __future__ import annotations
@@ -29,6 +33,9 @@ __all__ = [
     "write_chrome_trace",
     "merge_chrome_traces",
     "render_time_tree",
+    "path_tree",
+    "to_collapsed",
+    "write_collapsed",
 ]
 
 
@@ -259,6 +266,87 @@ def render_time_tree(spans, indent: str = "  ") -> str:
             f"  {wall}  {modelled}"
         )
     return "\n".join(lines)
+
+
+# -- path-keyed attribution table (drift forensics) -------------------------
+
+
+def path_tree(spans_or_records) -> dict:
+    """Spans as a path-keyed attribution table with self-time split.
+
+    Every node is keyed by its span path — span names joined root→node
+    with ``";"``, the native collapsed-stack separator — and carries
+    inclusive *and* self values for both clock domains::
+
+        {"experiment.fig1a;backend.pim.encrypt;pim.time_kernel.vec_add":
+            {"name": "pim.time_kernel.vec_add", "depth": 2, "count": 4,
+             "wall_s": ..., "modelled_s": ...,
+             "self_wall_s": ..., "self_modelled_s": ...}}
+
+    Same-name siblings merge (as in :func:`render_time_tree`), so the
+    table is deterministic for deterministic span streams. Inclusive
+    time is ``max(own recorded time, sum of children inclusive)``:
+    container spans that record no ``modelled_s`` of their own (e.g.
+    ``experiment.*``) inherit their children's total, while priced
+    spans keep their recorded value. Self time is inclusive minus the
+    children's inclusive sum and is therefore never negative — exactly
+    the invariant flamegraph widths need.
+    """
+    root = build_time_tree(spans_or_records)
+    table: dict = {}
+
+    def walk(node: _Node, prefix: str, depth: int) -> tuple:
+        path = f"{prefix};{node.name}" if prefix else node.name
+        child_wall = 0.0
+        child_modelled = 0.0
+        for name in sorted(node.children):
+            inc_w, inc_m = walk(node.children[name], path, depth + 1)
+            child_wall += inc_w
+            child_modelled += inc_m
+        inclusive_wall = max(node.wall_s, child_wall)
+        inclusive_modelled = max(node.modelled_s, child_modelled)
+        table[path] = {
+            "name": node.name,
+            "depth": depth,
+            "count": node.count,
+            "wall_s": inclusive_wall,
+            "modelled_s": inclusive_modelled,
+            "self_wall_s": inclusive_wall - child_wall,
+            "self_modelled_s": inclusive_modelled - child_modelled,
+        }
+        return inclusive_wall, inclusive_modelled
+
+    for name in sorted(root.children):
+        walk(root.children[name], "", 0)
+    return table
+
+
+def to_collapsed(tree: dict, metric: str = "self_modelled_s") -> str:
+    """A path table as collapsed-stack text (``path value`` lines).
+
+    ``metric`` picks the self column to export; values are scaled to
+    integer nanoseconds (the format wants integers) and zero-valued
+    stacks are dropped. The output feeds ``flamegraph.pl`` and friends
+    directly.
+    """
+    if metric not in ("self_wall_s", "self_modelled_s"):
+        raise ParameterError(f"unknown collapsed-stack metric: {metric!r}")
+    lines = []
+    for path in sorted(tree):
+        value = int(round(tree[path][metric] * 1e9))
+        if value > 0:
+            lines.append(f"{path} {value}")
+    return "".join(line + "\n" for line in lines)
+
+
+def write_collapsed(tree: dict, path_or_file, **kwargs) -> None:
+    """Serialize :func:`to_collapsed` output to a file."""
+    text = to_collapsed(tree, **kwargs)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w") as handle:
+            handle.write(text)
 
 
 def validate_chrome_trace(document) -> None:

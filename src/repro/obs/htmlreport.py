@@ -29,6 +29,8 @@ __all__ = [
     "write_serve_report",
     "render_energy_report",
     "write_energy_report",
+    "render_forensics_report",
+    "write_forensics_report",
 ]
 
 _BADGE_COLORS = {
@@ -867,7 +869,8 @@ def _grid_trends_card(runs) -> str:
 
 def _verdict_history_rows(runs, perf_history, baseline,
                           noise_history, noise_baseline) -> list:
-    """(created_at, git_sha, source, [(experiment, verdict)]) rows."""
+    """(created_at, git_sha, source, [(experiment, verdict)],
+    drift_annotations) rows."""
     from repro.obs import noisegate as _ng
 
     rows = []
@@ -879,6 +882,7 @@ def _verdict_history_rows(runs, perf_history, baseline,
                 str(run.get("git_sha"))[:12],
                 "grid",
                 [(v["experiment"], v["verdict"]) for v in verdicts],
+                run.get("drift_annotations") or {},
             )
         )
     if baseline is not None:
@@ -890,6 +894,7 @@ def _verdict_history_rows(runs, perf_history, baseline,
                     str(doc.get("git_sha"))[:12],
                     "perf",
                     [(v.experiment, v.verdict) for v in verdicts],
+                    {},
                 )
             )
     if noise_baseline is not None:
@@ -901,23 +906,56 @@ def _verdict_history_rows(runs, perf_history, baseline,
                     str(doc.get("git_sha"))[:12],
                     "noise",
                     [(v.key, v.verdict) for v in verdicts],
+                    {},
                 )
             )
     rows.sort(key=lambda row: row[0])
     return rows
 
 
+def _annotation_links(annotations: dict) -> str:
+    """Drift-annotation stamps as deep-links into forensics reports.
+
+    The ``perf`` stamp links to the conventional per-experiment
+    forensics artifact (``forensics-<experiment>.html``, as written by
+    ``repro why <experiment> --html`` in CI); the ``failures`` stamp is
+    informational text.
+    """
+    parts = []
+    perf = annotations.get("perf")
+    if perf:
+        label = (
+            f"top drift: {perf.get('experiment', '?')}/"
+            f"{perf.get('backend', '?')} "
+            f"Δ{perf.get('delta_ms', 0.0):+.4g} ms"
+        )
+        href = f"forensics-{perf.get('experiment', '')}.html"
+        parts.append(f"<a href='{_esc(href)}'>{_esc(label)}</a>")
+    failures = annotations.get("failures")
+    if failures:
+        parts.append(
+            _esc(
+                f"{failures.get('count', 0)} failure(s): "
+                f"{failures.get('first', '')}"
+            )
+        )
+    if not parts:
+        return ""
+    return f"<br><span class='meta'>{' · '.join(parts)}</span>"
+
+
 def _verdict_history_card(rows) -> str:
     """The longitudinal verdict table: every recorded gate outcome —
     grid MODEL-DRIFT, perf MODEL-DRIFT/REGRESSION, noise NOISE-DRIFT —
-    ordered by time, one badge summary per recorded run."""
+    ordered by time, one badge summary per recorded run, with grid
+    rows' drift-annotation stamps deep-linking into forensics reports."""
     if not rows:
         return (
             "<div class='card'><h2>Verdict history</h2>"
             "<p class='meta'>No recorded verdicts yet.</p></div>"
         )
     body = []
-    for created_at, sha, source, verdicts in rows:
+    for created_at, sha, source, verdicts, annotations in rows:
         counts: dict = {}
         for _name, verdict in verdicts:
             counts[verdict] = counts.get(verdict, 0) + 1
@@ -937,7 +975,8 @@ def _verdict_history_card(rows) -> str:
         body.append(
             f"<tr><td>{_esc(created_at)}</td><td><code>{_esc(sha)}</code>"
             f"</td><td>{_esc(source)}</td>"
-            f"<td style='text-align:left'>{badges}{detail}</td></tr>"
+            f"<td style='text-align:left'>{badges}{detail}"
+            f"{_annotation_links(annotations)}</td></tr>"
         )
     return (
         "<div class='card'><h2>Verdict history "
@@ -1375,3 +1414,220 @@ def render_energy_report(
 def write_energy_report(path, current, baseline=None, **kwargs) -> None:
     """Render and write the energy/movement dashboard."""
     _write_html(path, render_energy_report(current, baseline, **kwargs))
+
+
+# -- drift forensics (repro why / repro forensics) --------------------------
+
+_FLAME_CSS = """
+.flame { font: 11px ui-monospace, monospace; white-space: nowrap;
+         margin: .6em 0; }
+.fnode { display: inline-block; vertical-align: top; min-width: 2px; }
+.fkids { width: 100%; white-space: nowrap; }
+.fbox { overflow: hidden; text-overflow: ellipsis; white-space: nowrap;
+        border: 1px solid #fff; border-radius: 2px; padding: 1px 3px;
+        box-sizing: border-box; }
+.flamelegend span { margin-right: 1.2em; }
+"""
+
+
+def _flame_color(delta_self: float, max_abs: float) -> str:
+    """Red for slower in B, blue for faster, grey for unchanged."""
+    if max_abs <= 0.0 or delta_self == 0.0:
+        return "#eceff1"
+    intensity = min(1.0, abs(delta_self) / max_abs)
+    lightness = 92 - 32 * intensity
+    hue = 6 if delta_self > 0 else 211
+    return f"hsl({hue},78%,{lightness:.0f}%)"
+
+
+def _flame_html(aligned) -> str:
+    """Aligned path rows as a differential icicle flamegraph.
+
+    Frame width is proportional to the wider run's inclusive modelled
+    time (``max(modelled_a, modelled_b)``), so a span that only exists
+    on one side still gets its true width; color encodes the *self*
+    modelled delta — the drift is painted on the frame that moved, not
+    on every ancestor above it.
+    """
+    rows = [r for r in aligned if max(r["modelled_a"], r["modelled_b"]) > 0]
+    if not rows:
+        return "<p class='meta'>(no modelled spans to draw)</p>"
+    children: dict = {}
+    roots = []
+    for row in rows:
+        if row["depth"] == 0:
+            roots.append(row)
+        else:
+            children.setdefault(
+                row["path"].rsplit(";", 1)[0], []
+            ).append(row)
+    max_abs = max(
+        abs(r["self_modelled_b"] - r["self_modelled_a"]) for r in rows
+    )
+
+    def basis(row) -> float:
+        return max(row["modelled_a"], row["modelled_b"])
+
+    def node_html(row, parent_basis: float) -> str:
+        width = 100.0 * basis(row) / parent_basis if parent_basis else 0.0
+        delta_self = row["self_modelled_b"] - row["self_modelled_a"]
+        tooltip = (
+            f"{row['path']}\n"
+            f"inclusive {row['modelled_a'] * 1e3:.3f} -> "
+            f"{row['modelled_b'] * 1e3:.3f} ms\n"
+            f"self Δ {delta_self * 1e3:+.3f} ms ({row['status']})"
+        )
+        kids = "".join(
+            node_html(child, basis(row))
+            for child in children.get(row["path"], ())
+        )
+        return (
+            f"<div class='fnode' style='width:{width:.3f}%'>"
+            f"<div class='fbox' style='background:"
+            f"{_flame_color(delta_self, max_abs)}' "
+            f"title='{_esc(tooltip)}'>{_esc(row['name'])}</div>"
+            + (f"<div class='fkids'>{kids}</div>" if kids else "")
+            + "</div>"
+        )
+
+    total = sum(basis(row) for row in roots)
+    frames = "".join(node_html(row, total) for row in roots)
+    legend = (
+        "<p class='flamelegend meta'>"
+        f"<span style='color:{_flame_color(1.0, 1.0)}'>■</span>"
+        "self slower in B "
+        f"<span style='color:{_flame_color(-1.0, 1.0)}'>■</span>"
+        "self faster in B "
+        "<span style='color:#b0bec5'>■</span>unchanged — width ∝ "
+        "inclusive modelled time of the wider run</p>"
+    )
+    return f"<div class='flame'>{frames}</div>{legend}"
+
+
+def _contributors_table(contributors) -> str:
+    if not contributors:
+        return "<p class='meta'>(no moved spans)</p>"
+    rows = "".join(
+        f"<tr><td>{_esc(row['path'])}</td>"
+        f"<td>{row['count_a']}</td><td>{row['count_b']}</td>"
+        f"<td>{row['modelled_a'] * 1e3:,.3f}</td>"
+        f"<td>{row['modelled_b'] * 1e3:,.3f}</td>"
+        f"<td>{(row['self_modelled_b'] - row['self_modelled_a']) * 1e3:+,.3f}"
+        "</td></tr>"
+        for row in contributors
+    )
+    return (
+        "<table><tr><th>span path</th><th>count A</th><th>count B</th>"
+        "<th>modelled A ms</th><th>modelled B ms</th>"
+        "<th>Δ self ms</th></tr>"
+        f"{rows}</table>"
+    )
+
+
+def _shifts_table(shifts: dict) -> str:
+    rows = "".join(
+        f"<tr><td>{_esc(name)}</td><td>{shift['index']}</td>"
+        f"<td><code>{_esc(str(shift.get('git_sha'))[:12])}</code></td>"
+        f"<td>{_esc(shift.get('created_at', '?'))}</td>"
+        f"<td>{shift['before_mean']:,.6g}</td>"
+        f"<td>{shift['after_mean']:,.6g}</td></tr>"
+        for name in sorted(shifts)
+        for shift in shifts[name]
+    )
+    return (
+        "<table><tr><th>series</th><th>index</th><th>first git SHA</th>"
+        "<th>recorded</th><th>mean before</th><th>mean after</th></tr>"
+        f"{rows}</table>"
+    )
+
+
+def _forensics_experiment_section(eid: str, families: dict) -> list:
+    spans = families["spans"]
+    parts = [
+        _gate_card(
+            f"{eid} — span alignment",
+            f"{spans['mode']}-aligned, {spans['moved']} moved",
+            [(spans["verdict"], "spans")],
+            spans["verdict"] not in ("ok", "skipped"),
+        ),
+        _contributors_table(spans["contributors"]),
+        "<h2>Differential flamegraph "
+        "<span class='meta'>A (baseline) vs B (current)</span></h2>",
+        _flame_html(spans["aligned"]),
+    ]
+    model = families["model"]
+    parts.append(
+        _gate_card(
+            f"{eid} — model surface",
+            "series totals · counters · transfer split",
+            [(model["verdict"], "model")],
+            model["verdict"] not in ("ok", "skipped"),
+            notes=model["notes"][:20],
+        )
+    )
+    energy = families.get("energy")
+    if energy is not None:
+        parts.append(
+            _gate_card(
+                f"{eid} — energy",
+                "config · joules · movement bytes",
+                [(energy["verdict"], "energy")],
+                energy["verdict"] not in ("ok", "skipped"),
+                notes=energy["notes"][:20],
+            )
+        )
+    return parts
+
+
+def render_forensics_report(
+    report: dict, title: str = "repro drift forensics"
+) -> str:
+    """The drift-forensics report as one self-contained HTML page.
+
+    Accepts either document shape from :mod:`repro.obs.forensics`:
+    a ``why`` report (one experiment: span/model/energy family cards,
+    differential flamegraph, change points) or a ``diff`` report
+    (one span+model section per shared experiment).
+    """
+    parts = _page_head(title, extra_css=_FLAME_CSS)
+    if report.get("kind") == "why":
+        base, cur = report["baseline"], report["current"]
+        parts.append(
+            f"<p class='meta'>experiment <strong>"
+            f"{_esc(report['experiment'])}</strong><br>"
+            f"A (baseline): {_identity_line(base)}<br>"
+            f"B (current): {_identity_line(cur)}</p>"
+        )
+        parts.extend(
+            _forensics_experiment_section(
+                report["experiment"], report["families"]
+            )
+        )
+        parts.append(
+            "<h2>Change points "
+            "<span class='meta'>CUSUM over longitudinal history</span></h2>"
+        )
+        if report.get("shifts"):
+            parts.append(_shifts_table(report["shifts"]))
+        else:
+            parts.append("<p class='meta'>No change points detected.</p>")
+    else:
+        parts.append(
+            f"<p class='meta'>A: {_identity_line(report['run_a'])}<br>"
+            f"B: {_identity_line(report['run_b'])}</p>"
+        )
+        if not report["experiments"]:
+            parts.append("<p class='meta'>No experiments in common.</p>")
+        for eid in sorted(report["experiments"]):
+            parts.extend(
+                _forensics_experiment_section(
+                    eid, report["experiments"][eid]
+                )
+            )
+    parts.append(_PAGE_FOOT)
+    return "".join(parts)
+
+
+def write_forensics_report(path, report: dict, **kwargs) -> None:
+    """Render and write the drift-forensics report."""
+    _write_html(path, render_forensics_report(report, **kwargs))

@@ -264,37 +264,44 @@ def diff_runs(run_a: dict, run_b: dict, top_k: int = 10) -> dict:
     """Which spans account for the delta between two recorded runs.
 
     For every experiment present in both runs, the per-span-name
-    attribution tables are joined and the rows sorted by absolute
-    modelled-seconds delta (wall delta as tiebreak); the top-k rows
-    are returned per experiment as
+    attribution tables are aligned and ranked through the forensics
+    helpers (:func:`repro.obs.forensics.align_trees` /
+    :func:`~repro.obs.forensics.rank_contributors` — the same code path
+    ``repro why`` uses) by absolute modelled-seconds delta (wall delta
+    as tiebreak); the top-k rows are returned per experiment as
     ``(name, modelled_a, modelled_b, wall_a, wall_b)`` tuples.
     """
+    # Imported lazily: forensics builds on this module at import time.
+    from repro.obs import forensics
+
     if top_k < 1:
         raise ParameterError(f"top_k must be >= 1: {top_k}")
     diffs: dict = {}
-    shared = [
-        eid
-        for eid in run_a["experiments"]
-        if eid in run_b["experiments"]
-    ]
-    for eid in shared:
-        attr_a = run_a["experiments"][eid].get("attribution", {})
-        attr_b = run_b["experiments"][eid].get("attribution", {})
-        rows = []
-        for name in sorted(set(attr_a) | set(attr_b)):
-            a = attr_a.get(name, {})
-            b = attr_b.get(name, {})
-            rows.append(
-                (
-                    name,
-                    a.get("modelled_s", 0.0),
-                    b.get("modelled_s", 0.0),
-                    a.get("wall_s", 0.0),
-                    b.get("wall_s", 0.0),
-                )
+    for eid in run_a["experiments"]:
+        if eid not in run_b["experiments"]:
+            continue
+        rows = forensics.rank_contributors(
+            forensics.align_trees(
+                forensics.tree_from_attribution(
+                    run_a["experiments"][eid].get("attribution", {})
+                ),
+                forensics.tree_from_attribution(
+                    run_b["experiments"][eid].get("attribution", {})
+                ),
+            ),
+            top_k=top_k,
+            by="total",
+        )
+        diffs[eid] = [
+            (
+                row["path"],
+                row["modelled_a"],
+                row["modelled_b"],
+                row["wall_a"],
+                row["wall_b"],
             )
-        rows.sort(key=lambda r: (-abs(r[2] - r[1]), -abs(r[4] - r[3]), r[0]))
-        diffs[eid] = rows[:top_k]
+            for row in rows
+        ]
     return diffs
 
 

@@ -20,7 +20,10 @@ Two tables carry the story:
   (:mod:`repro.obs.runident` — run_id / timestamp / git SHA / schema
   version), cells done/failed, modelled + wall totals, and a JSON
   rollup (per-experiment modelled totals, metric counters, verdicts,
-  failure headers). This ledger is what the longitudinal dashboard
+  failure headers), plus a ``drift_annotations`` stamp
+  (:func:`drift_annotations` — the top drift contributor per family)
+  that the dashboard's verdict history deep-links into forensics
+  reports. This ledger is what the longitudinal dashboard
   (``repro grid html``) trends across git SHAs.
 
 A third table, **points**, memoizes generic parameter sweeps for
@@ -83,6 +86,7 @@ __all__ = [
     "run_cell",
     "drain",
     "check_against_baseline",
+    "drift_annotations",
     "experiment_totals",
     "workload_totals",
     "render_status",
@@ -307,17 +311,18 @@ CREATE TABLE IF NOT EXISTS grid (
     UNIQUE (workload, backend, security_bits, healthy, batch)
 );
 CREATE TABLE IF NOT EXISTS runs (
-    run_id       TEXT PRIMARY KEY,
-    created_at   TEXT,
-    git_sha      TEXT,
-    schema       INTEGER,
-    command      TEXT,
-    owner        TEXT,
-    cells_done   INTEGER,
-    cells_failed INTEGER,
-    wall_s       REAL,
-    modelled_ms  REAL,
-    rollups      TEXT
+    run_id            TEXT PRIMARY KEY,
+    created_at        TEXT,
+    git_sha           TEXT,
+    schema            INTEGER,
+    command           TEXT,
+    owner             TEXT,
+    cells_done        INTEGER,
+    cells_failed      INTEGER,
+    wall_s            REAL,
+    modelled_ms       REAL,
+    rollups           TEXT,
+    drift_annotations TEXT
 );
 CREATE TABLE IF NOT EXISTS points (
     sweep_key  TEXT NOT NULL,
@@ -371,6 +376,23 @@ class RunRegistry:
         )
         conn.execute("PRAGMA busy_timeout = 30000")
         return conn
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        """Additive in-place migrations for older registries.
+
+        ``drift_annotations`` (PR 9) is a pure annotation column — its
+        absence never changed how ledger rows were read, so existing
+        databases are upgraded with an ``ALTER TABLE`` instead of a
+        schema-version bump that would force a re-init.
+        """
+        columns = {
+            row[1] for row in conn.execute("PRAGMA table_info(runs)")
+        }
+        if "drift_annotations" not in columns:
+            conn.execute(
+                "ALTER TABLE runs ADD COLUMN drift_annotations TEXT"
+            )
 
     @classmethod
     def create(cls, path, spec: GridSpec, force: bool = False) -> RunRegistry:
@@ -463,6 +485,7 @@ class RunRegistry:
                 f"(this build reads version {SCHEMA_VERSION}); "
                 "re-initialise with 'repro grid init --force'"
             )
+        cls._migrate(conn)
         return registry
 
     def close(self) -> None:
@@ -645,7 +668,8 @@ class RunRegistry:
         self._conn.execute(
             "INSERT OR REPLACE INTO runs (run_id, created_at, git_sha, "
             "schema, command, owner, cells_done, cells_failed, wall_s, "
-            "modelled_ms, rollups) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "modelled_ms, rollups, drift_annotations) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 doc["run_id"],
                 doc["created_at"],
@@ -658,6 +682,9 @@ class RunRegistry:
                 doc.get("wall_s", 0.0),
                 doc.get("modelled_ms", 0.0),
                 json.dumps(doc.get("rollups", {}), sort_keys=True),
+                json.dumps(
+                    doc.get("drift_annotations", {}), sort_keys=True
+                ),
             ),
         )
         self._conn.execute("COMMIT")
@@ -670,6 +697,9 @@ class RunRegistry:
         ):
             doc = dict(row)
             doc["rollups"] = json.loads(doc.get("rollups") or "{}")
+            doc["drift_annotations"] = json.loads(
+                doc.get("drift_annotations") or "{}"
+            )
             out.append(doc)
         return out
 
@@ -828,10 +858,59 @@ def _record_drain(
                 ],
                 "failures": [record["header"] for record in failures],
             },
+            "drift_annotations": drift_annotations(
+                cells, baseline, failures
+            ),
         }
     )
     registry.record_run(doc)
     return doc
+
+
+def drift_annotations(cells, baseline: dict | None, failures=()) -> dict:
+    """Top drift contributor per family, as a JSON-able ledger stamp.
+
+    ``"perf"`` names the (experiment, backend) series with the largest
+    absolute modelled delta against the committed baseline among the
+    groups the grid reproduces; ``"failures"`` carries the count and
+    first failure header. Empty when nothing drifted or failed. The
+    grid dashboard's verdict history renders these stamps and
+    deep-links each one into a ``repro why <experiment>`` forensics
+    report (``forensics-<experiment>.html``).
+    """
+    annotations: dict = {}
+    if baseline is not None:
+        totals = experiment_totals(cells)
+        top = None
+        for eid, recorded in sorted(
+            baseline.get("experiments", {}).items()
+        ):
+            expected = recorded["modelled"]["series_totals"]
+            got = totals.get(eid)
+            if not got:
+                continue
+            for backend in sorted(expected):
+                if backend not in got:
+                    continue
+                delta = got[backend] - expected[backend]
+                if delta != 0.0 and (
+                    top is None or abs(delta) > abs(top["delta_ms"])
+                ):
+                    top = {
+                        "experiment": eid,
+                        "backend": backend,
+                        "grid_ms": got[backend],
+                        "baseline_ms": expected[backend],
+                        "delta_ms": delta,
+                    }
+        if top is not None:
+            annotations["perf"] = top
+    if failures:
+        annotations["failures"] = {
+            "count": len(failures),
+            "first": failures[0]["header"],
+        }
+    return annotations
 
 
 # -- the MODEL-DRIFT gate over the grid -------------------------------------

@@ -41,6 +41,7 @@ class TestCaptureExperiment:
             "counters",
             "transfer",
             "attribution",
+            "paths",
         }
 
     def test_modelled_totals_match_a_direct_run(self, run_doc):

@@ -104,6 +104,12 @@ class TestExitDataConvention:
             (["faults", "html"], ("--sweep",)),
             (["serve", "html"], ("--sweep",)),
             (["grid", "status"], ("--db",)),
+            (["why", "fig1a"], ("--against", "--history")),
+            (["forensics", "html"], ("--run-a", "--run-b")),
+            (
+                ["forensics", "shifts"],
+                ("--history", "--energy-history", "--noise-history", "--db"),
+            ),
         ],
         ids=lambda value: (
             "-".join(value[:2]) if isinstance(value, list) else None

@@ -378,3 +378,116 @@ class TestRenderStatus:
         assert "RuntimeError: no device" in text
         assert "partial" in text  # gpu series incomplete
         assert "recorded runs" in text
+
+
+class TestDriftAnnotations:
+    """The PR-9 ledger stamp: top drift contributor per family."""
+
+    def cell(self, modelled_ms, workload="vec_add", backend="pim"):
+        return {
+            "workload": workload,
+            "backend": backend,
+            "security_bits": 109,
+            "healthy": 1.0,
+            "batch": 4096,
+            "status": reg.STATUS_DONE,
+            "modelled_ms": modelled_ms,
+        }
+
+    def test_no_baseline_no_failures_is_empty(self):
+        assert reg.drift_annotations([self.cell(1.0)], None) == {}
+
+    def test_matching_totals_leave_no_perf_stamp(self, tmp_path):
+        registry = tiny_registry(tmp_path, max_batches=None)
+        reg.drain(registry)
+        baseline = read_run("baselines/perf.json")
+        stamp = reg.drift_annotations(registry.cells(), baseline)
+        assert "perf" not in stamp
+
+    def test_largest_absolute_delta_wins(self):
+        baseline = {
+            "experiments": {
+                "fig1a": {
+                    "modelled": {"series_totals": {"pim": 10.0, "cpu": 5.0}}
+                }
+            }
+        }
+        totals = {"fig1a": {"pim": 13.0, "cpu": 4.0}}
+        cells = [self.cell(1.0)]
+
+        def fake_totals(_cells):
+            return totals
+
+        original = reg.experiment_totals
+        reg.experiment_totals = fake_totals
+        try:
+            stamp = reg.drift_annotations(cells, baseline)
+        finally:
+            reg.experiment_totals = original
+        assert stamp["perf"] == {
+            "experiment": "fig1a",
+            "backend": "pim",
+            "grid_ms": 13.0,
+            "baseline_ms": 10.0,
+            "delta_ms": 3.0,
+        }
+
+    def test_failures_stamped_with_count_and_first_header(self):
+        failures = [
+            {"header": "[permanent] PermanentDeviceError: fleet gave out"},
+            {"header": "[transient] RetryExhausted: still down"},
+        ]
+        stamp = reg.drift_annotations([], None, failures)
+        assert stamp["failures"]["count"] == 2
+        assert "PermanentDeviceError" in stamp["failures"]["first"]
+
+    def test_round_trips_through_the_ledger(self, tmp_path):
+        registry = tiny_registry(tmp_path)
+        doc = {
+            "run_id": "run-1",
+            "created_at": "2026-01-01T00:00:00+00:00",
+            "git_sha": "abc123",
+            "drift_annotations": {
+                "perf": {"experiment": "fig1a", "backend": "pim",
+                         "grid_ms": 2.0, "baseline_ms": 1.0, "delta_ms": 1.0}
+            },
+        }
+        registry.record_run(doc)
+        (row,) = registry.runs()
+        assert row["drift_annotations"]["perf"]["experiment"] == "fig1a"
+
+    def test_drain_stamps_the_ledger_row(self, tmp_path):
+        registry = tiny_registry(tmp_path)
+        reg.drain(registry)
+        (row,) = registry.runs()
+        assert isinstance(row["drift_annotations"], dict)
+
+    def test_pre_column_database_is_migrated_on_open(self, tmp_path):
+        import sqlite3
+
+        registry = tiny_registry(tmp_path)
+        path = registry.path
+        registry.close()
+        # Rebuild the runs table as PR-6 shipped it: no annotation column.
+        conn = sqlite3.connect(str(path))
+        conn.execute("DROP TABLE runs")
+        conn.execute(
+            "CREATE TABLE runs (run_id TEXT PRIMARY KEY, created_at TEXT, "
+            "git_sha TEXT, schema INTEGER, command TEXT, owner TEXT, "
+            "cells_done INTEGER, cells_failed INTEGER, wall_s REAL, "
+            "modelled_ms REAL, rollups TEXT)"
+        )
+        conn.commit()
+        conn.close()
+        with reg.RunRegistry.open(path) as migrated:
+            migrated.record_run(
+                {
+                    "run_id": "run-1",
+                    "created_at": "t",
+                    "git_sha": "s",
+                    "drift_annotations": {"failures": {"count": 1,
+                                                       "first": "boom"}},
+                }
+            )
+            (row,) = migrated.runs()
+        assert row["drift_annotations"]["failures"]["count"] == 1
