@@ -43,6 +43,13 @@ Subcommands:
   offered QPS × security level × fleet health for sustainable
   capacity (``--registry`` makes the sweep resumable), and render the
   capacity dashboard;
+* ``resil record|check|html`` — fault-tolerant sharded serving:
+  sweep the resilient model (health-aware placement over K
+  rank-aligned shards, circuit breakers, retry budgets, hedged
+  dispatch) across fault seed × shard count × offered QPS, healthy
+  and with one shard's ranks disabled, lock every point's SLO
+  attainment exactly (``RESILIENCE-DRIFT``), and render the
+  shard-health dashboard;
 * ``why <experiment> --against <baseline|run-id>`` — drift forensics:
   re-run one experiment and attribute any drift span by span
   (path-aligned self-time deltas), over the exact model surface, and
@@ -981,6 +988,119 @@ def _cmd_serve_html(args) -> int:
     if doc is None:
         return status
     document = htmlreport.render_serve_report(doc)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _resil_capture_kwargs(args) -> dict:
+    """The capture arguments shared by ``resil record`` and ``check``."""
+    import os
+
+    from repro.serve import resilience as resil
+
+    baseline = None
+    if not args.skip_baseline and os.path.exists(args.perf_baseline):
+        from repro.obs import baseline as bl
+
+        baseline = bl.read_run(args.perf_baseline)
+    return dict(
+        workload=args.workload,
+        security_bits=args.security,
+        seeds=args.seeds,
+        shard_counts=args.shards,
+        qps_grid=args.qps,
+        duration_s=args.duration,
+        breaker=resil.BreakerSpec(
+            failure_threshold=args.breaker_threshold,
+            cooldown_s=args.breaker_cooldown_ms * 1e-3,
+        ),
+        retry_budget=args.retry_budget,
+        hedge_after_s=(
+            args.hedge_after_ms * 1e-3
+            if args.hedge_after_ms is not None
+            else None
+        ),
+        baseline=baseline,
+        progress=_serve_progress,
+    )
+
+
+def _cmd_resil_record(args) -> int:
+    """Capture the RESILIENCE gate baseline and append the history."""
+    from repro.serve import resilience as resil
+
+    doc = resil.capture_resilience_run(**_resil_capture_kwargs(args))
+    resil.write_resilience_run(doc, args.baseline)
+    resil.append_resilience_history(doc, args.history)
+    print(resil.render_resilience_text(doc))
+    print(
+        f"recorded {len(doc['points'])} resilience points as run "
+        f"{doc['run_id'][:12]} (git {str(doc['git_sha'])[:12]})"
+    )
+    print(f"baseline written to {args.baseline}; history at {args.history}")
+    return 0
+
+
+def _cmd_resil_check(args) -> int:
+    """Re-simulate the resilience grid and gate against the baseline."""
+    from repro.serve import resilience as resil
+
+    baseline, status = _load_recorded(
+        resil.read_resilience_run, args.baseline, hint="repro resil record"
+    )
+    if baseline is None:
+        return status
+    kwargs = _resil_capture_kwargs(args)
+    # Re-simulate exactly the recorded grid, not the CLI defaults.
+    kwargs.update(
+        workload=baseline["workload"],
+        security_bits=baseline["security_bits"],
+        seeds=baseline["seeds"],
+        shard_counts=baseline["shard_counts"],
+        qps_grid=baseline["qps_grid"],
+        duration_s=baseline["duration_s"],
+        breaker=resil.BreakerSpec(**baseline["config"]["breaker"]),
+        retry_budget=baseline["config"]["retry_budget"],
+        hedge_after_s=baseline["config"]["hedge_after_s"],
+        shed_burn_threshold=baseline["config"]["shed_burn_threshold"],
+    )
+    current = resil.capture_resilience_run(**kwargs)
+    resil.append_resilience_history(current, args.history)
+    verdicts = resil.check_resilience_runs(baseline, current)
+    print(resil.render_resilience_check(verdicts, baseline, current))
+    if args.update:
+        resil.write_resilience_run(current, args.baseline)
+        print(f"resilience baseline re-recorded: {args.baseline}")
+        return 0
+    return resil.resilience_exit_code(verdicts)
+
+
+def _cmd_resil_html(args) -> int:
+    """Render the recorded resilience run as the shard-health dashboard."""
+    import os
+
+    from repro.obs import htmlreport
+    from repro.serve import resilience as resil
+
+    history = resil.read_resilience_history(args.history)
+    baseline = (
+        resil.read_resilience_run(args.baseline)
+        if os.path.exists(args.baseline)
+        else None
+    )
+    current = history[-1] if history else baseline
+    if current is None:
+        return _no_data(
+            f"no resilience history at {args.history} and no baseline "
+            f"at {args.baseline} — nothing to render",
+            hint="repro resil record",
+        )
+    document = htmlreport.render_resilience_report(current, baseline)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(document)
@@ -2125,6 +2245,164 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="output file (default: stdout)"
     )
     serve_html.set_defaults(func=_cmd_serve_html)
+
+    resil_parser = sub.add_parser(
+        "resil",
+        help="fault-tolerant sharded serving: record, gate, and render "
+        "degraded-fleet SLO attainment",
+        description=(
+            "Sweep the sharded resilient serving model — health-aware "
+            "placement over K rank-aligned shards, per-shard circuit "
+            "breakers, retry budgets, hedged dispatch — across a fault "
+            "seed × shard count × offered QPS grid, healthy and with "
+            "one shard's ranks disabled. Every point is deterministic "
+            "modelled arithmetic, so the gate demands exact equality "
+            "(RESILIENCE-DRIFT otherwise); the single-shard zero-fault "
+            "pricer is cross-checked bit-for-bit against the perf "
+            "baseline. See docs/robustness.md."
+        ),
+    )
+    resil_sub = resil_parser.add_subparsers(
+        dest="resil_command", required=True
+    )
+
+    def _resil_common(p) -> None:
+        from repro.serve.resilience import (
+            DEFAULT_RESIL_BASELINE_PATH,
+            DEFAULT_RESIL_HISTORY_PATH,
+            DEFAULT_RESIL_QPS,
+            DEFAULT_RESIL_SEEDS,
+            DEFAULT_SHARD_COUNTS,
+        )
+
+        p.add_argument(
+            "--baseline",
+            default=DEFAULT_RESIL_BASELINE_PATH,
+            metavar="FILE",
+            help="resilience baseline JSON "
+            f"(default: {DEFAULT_RESIL_BASELINE_PATH})",
+        )
+        p.add_argument(
+            "--history",
+            default=DEFAULT_RESIL_HISTORY_PATH,
+            metavar="FILE",
+            help=f"run-history JSONL (default: {DEFAULT_RESIL_HISTORY_PATH})",
+        )
+        p.add_argument(
+            "--workload",
+            default="vec_add",
+            help="request-class workload (default: vec_add)",
+        )
+        p.add_argument(
+            "--security",
+            type=int,
+            default=54,
+            metavar="BITS",
+            help="security level (default: 54)",
+        )
+        p.add_argument(
+            "--seeds",
+            nargs="+",
+            type=int,
+            default=list(DEFAULT_RESIL_SEEDS),
+            help=f"fault seeds to sweep (default: "
+            f"{' '.join(str(s) for s in DEFAULT_RESIL_SEEDS)})",
+        )
+        p.add_argument(
+            "--shards",
+            nargs="+",
+            type=int,
+            default=list(DEFAULT_SHARD_COUNTS),
+            metavar="K",
+            help=f"shard counts to sweep (default: "
+            f"{' '.join(str(k) for k in DEFAULT_SHARD_COUNTS)})",
+        )
+        p.add_argument(
+            "--qps",
+            nargs="+",
+            type=float,
+            default=list(DEFAULT_RESIL_QPS),
+            help=f"offered rates to sweep (default: "
+            f"{' '.join(f'{q:g}' for q in DEFAULT_RESIL_QPS)})",
+        )
+        p.add_argument(
+            "--duration",
+            type=float,
+            default=0.1,
+            metavar="S",
+            help="modelled arrival window in seconds (default: 0.1)",
+        )
+        p.add_argument(
+            "--breaker-threshold",
+            type=int,
+            default=3,
+            metavar="N",
+            help="consecutive failures that trip a shard's breaker "
+            "(default: 3)",
+        )
+        p.add_argument(
+            "--breaker-cooldown-ms",
+            type=float,
+            default=25.0,
+            metavar="MS",
+            help="breaker cooldown in modelled milliseconds (default: 25)",
+        )
+        p.add_argument(
+            "--retry-budget",
+            type=int,
+            default=1,
+            metavar="N",
+            help="redispatches allowed after a failed dispatch "
+            "(default: 1)",
+        )
+        p.add_argument(
+            "--hedge-after-ms",
+            type=float,
+            default=5.0,
+            metavar="MS",
+            help="queue wait that triggers a hedged duplicate launch "
+            "(default: 5)",
+        )
+        p.add_argument(
+            "--perf-baseline",
+            default="baselines/perf.json",
+            metavar="FILE",
+            help="perf baseline for the single-shard bit-identity "
+            "cross-check (default: baselines/perf.json)",
+        )
+        p.add_argument(
+            "--skip-baseline",
+            action="store_true",
+            help="skip the single-shard perf cross-check",
+        )
+
+    resil_record = resil_sub.add_parser(
+        "record", help="capture the RESILIENCE gate baseline"
+    )
+    _resil_common(resil_record)
+    resil_record.set_defaults(func=_cmd_resil_record)
+
+    resil_check = resil_sub.add_parser(
+        "check",
+        help="re-simulate the recorded grid and gate against the baseline",
+    )
+    resil_check.add_argument(
+        "--update",
+        action="store_true",
+        help="adopt the current run as the new baseline (exit 0)",
+    )
+    _resil_common(resil_check)
+    resil_check.set_defaults(func=_cmd_resil_check)
+
+    resil_html = resil_sub.add_parser(
+        "html",
+        help="render the shard-health dashboard from the recorded run",
+    )
+    resil_html.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    _resil_common(resil_html)
+    resil_html.set_defaults(func=_cmd_resil_html)
 
     profile_parser = sub.add_parser(
         "profile",

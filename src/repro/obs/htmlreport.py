@@ -31,6 +31,8 @@ __all__ = [
     "write_energy_report",
     "render_forensics_report",
     "write_forensics_report",
+    "render_resilience_report",
+    "write_resilience_report",
 ]
 
 _BADGE_COLORS = {
@@ -44,6 +46,7 @@ _BADGE_COLORS = {
     "SLO-OK": "#2e7d32",
     "SLO-BREACH": "#c62828",
     "ENERGY-DRIFT": "#c62828",
+    "RESILIENCE-DRIFT": "#c62828",
 }
 
 _CSS = """
@@ -1631,3 +1634,191 @@ def render_forensics_report(
 def write_forensics_report(path, report: dict, **kwargs) -> None:
     """Render and write the drift-forensics report."""
     _write_html(path, render_forensics_report(report, **kwargs))
+
+
+# -- sharded serving resilience (repro resil html) ---------------------------
+
+
+def _shard_health_bar(shard: dict) -> str:
+    """One shard's healthy-DPU fraction as a small horizontal bar."""
+    total = shard.get("total_dpus") or shard["healthy_dpus"] or 1
+    frac = shard["healthy_dpus"] / total
+    color = "#2e7d32" if frac > 0.5 else "#f9a825" if frac > 0.0 else "#c62828"
+    return (
+        '<span class="occbar" style="width:8em" '
+        f'title="{shard["healthy_dpus"]}/{total} DPUs healthy">'
+        f'<span style="width:{frac * 100:.0f}%;background:{color}"></span>'
+        "</span>"
+    )
+
+
+def _resil_capacity_card(doc: dict) -> str:
+    """Sustainable QPS, healthy vs one dead shard, per seed × K."""
+    rows = []
+    for key in sorted(doc["capacity"]):
+        entry = doc["capacity"][key]
+        retained = entry["retained"]
+        floor = entry["retained_floor"]
+        if retained is None:
+            verdict = "SLO-BREACH"
+        else:
+            verdict = "SLO-OK" if retained >= floor else "SLO-BREACH"
+        rows.append(
+            f"<tr><td>{_esc(key)}</td>"
+            f"<td>{_esc(entry['healthy_qps'])}</td>"
+            f"<td>{_esc(entry['degraded_qps'])}</td>"
+            + (
+                f"<td>{retained:.2f}</td>"
+                if retained is not None
+                else "<td>—</td>"
+            )
+            + f"<td>{floor:.2f}</td><td>{_badge(verdict)}</td></tr>"
+        )
+    return (
+        "<div class='card'><h2>Capacity under one dead shard "
+        "<span class='meta'>sustainable QPS, healthy vs degraded "
+        "fleet; the floor is 1 − 1/K</span></h2>"
+        "<table><tr><th>point</th><th>healthy qps</th>"
+        "<th>degraded qps</th><th>retained</th><th>floor</th>"
+        "<th></th></tr>" + "".join(rows) + "</table></div>"
+    )
+
+
+def _resil_point_rows(doc: dict) -> str:
+    rows = []
+    for label in sorted(doc["points"]):
+        p = doc["points"][label]
+        p99 = f"{p['p99_ms']:.1f}" if p["p99_ms"] is not None else "—"
+        att = (
+            f"{p['attainment']:.3f}"
+            if p["attainment"] is not None
+            else "—"
+        )
+        rows.append(
+            f"<tr><td>{_esc(label)}</td><td>{p['completed']}</td>"
+            f"<td>{p['rejected']}</td><td>{att}</td><td>{p99}</td>"
+            f"<td>{p['routed_batches']}</td><td>{p['redispatches']}</td>"
+            f"<td>{p['hedges_issued']}/{p['hedges_won']}</td>"
+            f"<td>{p['shed_requests']}</td><td>{p['breaker_opened']}</td>"
+            f"<td>{_badge(p['verdict'])}</td></tr>"
+        )
+    return (
+        "<table><tr><th>point</th><th>done</th><th>rej</th>"
+        "<th>attain</th><th>p99 ms</th><th>routed</th><th>redisp</th>"
+        "<th>hedge i/w</th><th>shed</th><th>trips</th><th></th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _resil_shard_sections(doc: dict) -> list:
+    """Per-point shard-health tables for the degraded points."""
+    parts = []
+    degraded = [
+        label
+        for label in sorted(doc["points"])
+        if ":fleet=degraded:" in label
+    ]
+    for label in degraded:
+        point = doc["points"][label]
+        shard_rows = "".join(
+            f"<tr><td>shard {s['shard']}</td>"
+            f"<td>{_shard_health_bar(s)}</td>"
+            f"<td>{s['healthy_dpus']}</td><td>{s['launches']}</td>"
+            f"<td>{s['busy_ms']:.2f}</td><td>{s['breaker_opened']}</td>"
+            "</tr>"
+            for s in point["shards"]
+        )
+        parts.append(
+            f"<details><summary>{_esc(label)} — shard health</summary>"
+            "<table><tr><th>shard</th><th>health</th>"
+            "<th>healthy DPUs</th><th>launches</th><th>busy ms</th>"
+            f"<th>breaker trips</th></tr>{shard_rows}</table></details>"
+        )
+    return parts
+
+
+def render_resilience_report(
+    current: dict,
+    baseline: dict | None = None,
+    title: str = "repro sharded serving resilience",
+) -> str:
+    """The shard-health dashboard for a recorded resilience run.
+
+    Renders the RESILIENCE grid (:func:`repro.serve.resilience.
+    capture_resilience_run`): sustainable capacity healthy vs one dead
+    shard per shard count, every grid point's SLO attainment and
+    resilience counters (routing, redispatch, hedging, shedding,
+    breaker trips), per-shard health under degradation, and — when a
+    committed baseline is given — the exact-equality RESILIENCE gate.
+    """
+    doc = current
+    cfg = doc["config"]
+    hedge = (
+        f"{cfg['hedge_after_s'] * 1e3:g} ms"
+        if cfg["hedge_after_s"] is not None
+        else "off"
+    )
+    shed = (
+        f"burn > {cfg['shed_burn_threshold']:g}"
+        if cfg["shed_burn_threshold"] is not None
+        else "off"
+    )
+    ok = sum(
+        1 for p in doc["points"].values() if p["verdict"] == "SLO-OK"
+    )
+    breach = len(doc["points"]) - ok
+    parts = _page_head(title)
+    parts.extend([
+        f"<p class='meta'>{_identity_line(doc)}"
+        f"<br>{_esc(doc['workload'])}@{_esc(doc['security_bits'])} · "
+        f"seeds {_esc(doc['seeds'])} · shards {_esc(doc['shard_counts'])} · "
+        f"qps {_esc(doc['qps_grid'])} · {_esc(doc['duration_s'])} s window"
+        f"<br>breaker: trip at {_esc(cfg['breaker']['failure_threshold'])} "
+        f"consecutive failures, cooldown "
+        f"{cfg['breaker']['cooldown_s'] * 1e3:g} ms · retry budget "
+        f"{_esc(cfg['retry_budget'])} · hedge after {hedge} · "
+        f"shedding {shed}</p>",
+        f"<p>{_badge('SLO-OK')} {ok} {_badge('SLO-BREACH')} {breach} "
+        f"over {len(doc['points'])} points</p>",
+        _resil_capacity_card(doc),
+        "<h2>Grid points</h2>",
+        _resil_point_rows(doc),
+        "<h2>Shard health under degradation</h2>",
+    ])
+    parts.extend(_resil_shard_sections(doc))
+    checks = doc.get("baseline_check", [])
+    if checks:
+        parts.append(
+            _gate_card(
+                "Single-shard zero-fault cross-check",
+                "sharded pricer vs the committed perf baseline, "
+                "bit-for-bit",
+                [(v["verdict"], v["experiment"]) for v in checks],
+                any(v["verdict"] == "MODEL-DRIFT" for v in checks),
+            )
+        )
+    if baseline is not None:
+        from repro.serve import resilience as _resil
+
+        verdicts = _resil.check_resilience_runs(baseline, doc)
+        notes = [
+            f"{v.point}: {note}" for v in verdicts for note in v.notes
+        ]
+        parts.append(
+            _gate_card(
+                "RESILIENCE gate",
+                "current run vs the committed resilience baseline, "
+                "exact equality",
+                [(v.verdict, v.point) for v in verdicts],
+                _resil.resilience_exit_code(verdicts) != 0,
+                notes=notes[:20],
+            )
+        )
+    parts.append(_PAGE_FOOT)
+    return "".join(parts)
+
+
+def write_resilience_report(path, current, baseline=None, **kwargs) -> None:
+    """Render and write the shard-health resilience dashboard."""
+    _write_html(path, render_resilience_report(current, baseline, **kwargs))

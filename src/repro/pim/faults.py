@@ -38,6 +38,7 @@ depends on this).
 from __future__ import annotations
 
 import hashlib
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
@@ -95,6 +96,12 @@ class RetryPolicy:
     #: Multiplier applied to the backoff per additional retry.
     backoff_factor: float = 2.0
 
+    #: Ceiling on any single backoff, in seconds. Exponential growth
+    #: saturates here instead of overflowing ``float`` for large
+    #: failure counts (a resilience layer retrying across shards can
+    #: legitimately see attempt numbers far beyond ``max_attempts``).
+    backoff_cap_s: float = 1.0
+
     #: Modelled time lost waiting out a stuck tasklet before the
     #: watchdog fires and the launch is abandoned, in seconds.
     stuck_timeout_s: float = 50e-3
@@ -112,16 +119,42 @@ class RetryPolicy:
             raise ParameterError(
                 f"backoff_factor must be >= 1: {self.backoff_factor}"
             )
+        if self.backoff_cap_s < 0:
+            raise ParameterError(
+                f"backoff_cap_s must be non-negative: {self.backoff_cap_s}"
+            )
         if self.stuck_timeout_s < 0:
             raise ParameterError(
                 f"stuck_timeout_s must be non-negative: {self.stuck_timeout_s}"
             )
 
     def backoff_seconds(self, failures: int) -> float:
-        """Backoff charged before retry number ``failures`` (1-based)."""
+        """Backoff charged before retry number ``failures`` (1-based).
+
+        Saturates at :attr:`backoff_cap_s`: below the cap the closed
+        form ``base * factor ** (failures - 1)`` is evaluated exactly
+        as before (bit-identical modelled times for in-budget retries);
+        at or beyond the saturation point the cap is returned directly,
+        so arbitrarily large failure counts never overflow the float
+        exponent.
+        """
         if failures < 1:
             raise ParameterError(f"failures must be >= 1: {failures}")
-        return self.backoff_base_s * self.backoff_factor ** (failures - 1)
+        if self.backoff_base_s == 0.0 or self.backoff_cap_s == 0.0:
+            return min(self.backoff_base_s, self.backoff_cap_s)
+        exponent = failures - 1
+        if self.backoff_factor > 1.0:
+            # Smallest exponent whose closed form would reach the cap;
+            # beyond it, skip the power entirely (it may overflow).
+            saturation = math.log(
+                self.backoff_cap_s / self.backoff_base_s
+            ) / math.log(self.backoff_factor)
+            if exponent >= saturation:
+                return self.backoff_cap_s
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_factor**exponent,
+        )
 
 
 DEFAULT_RETRY_POLICY = RetryPolicy()
@@ -183,6 +216,14 @@ class FaultPlan:
     _transfer_cursor: int = field(
         default=0, init=False, repr=False, compare=False
     )
+    #: Per-config survivor index: config -> (disabled frozenset,
+    #: sorted disabled tuple, prefix-sum of disabled counts). The
+    #: disabled set is a pure function of the plan *spec* and the
+    #: config (no draw counters), so the cache survives :meth:`reset`
+    #: and makes membership/span queries O(1) after one O(n) build.
+    _survivors: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self):
         _check_rate("dpu_fail_rate", self.dpu_fail_rate)
@@ -242,15 +283,15 @@ class FaultPlan:
 
     # -- permanent faults --------------------------------------------------
 
-    def disabled_dpu_ids(self, config: UPMEMConfig) -> frozenset:
-        """The full set of permanently disabled DPU ids under ``config``.
+    def _survivor_index(self, config: UPMEMConfig) -> tuple:
+        """The cached ``(disabled set, sorted ids, prefix sums)`` index.
 
-        Union of the explicit ids, every DPU on a disabled rank, the
-        ``disable_dpus`` hash-ranked count, and the per-DPU
-        ``dpu_fail_rate`` draw. Pure function of the plan spec and the
-        config — no draw counters involved, so it is stable for the
-        plan's whole lifetime.
+        ``prefix[i]`` counts disabled DPUs with id ``< i``, so any span
+        query is two array reads after the one-time O(n) build.
         """
+        cached = self._survivors.get(config)
+        if cached is not None:
+            return cached
         disabled = set()
         for dpu in self.disabled_dpus:
             if not 0 <= dpu < config.n_dpus:
@@ -279,11 +320,97 @@ class FaultPlan:
                 for dpu in range(config.n_dpus)
                 if _unit_hash(self.seed, "dpu", dpu) < self.dpu_fail_rate
             )
-        return frozenset(disabled)
+        ordered = tuple(sorted(disabled))
+        prefix = [0] * (config.n_dpus + 1)
+        for index in range(config.n_dpus):
+            prefix[index + 1] = prefix[index] + (index in disabled)
+        cached = (frozenset(disabled), ordered, tuple(prefix))
+        self._survivors[config] = cached
+        return cached
+
+    def disabled_dpu_ids(self, config: UPMEMConfig) -> frozenset:
+        """The full set of permanently disabled DPU ids under ``config``.
+
+        Union of the explicit ids, every DPU on a disabled rank, the
+        ``disable_dpus`` hash-ranked count, and the per-DPU
+        ``dpu_fail_rate`` draw. Pure function of the plan spec and the
+        config — no draw counters involved, so it is stable for the
+        plan's whole lifetime and served from the precomputed survivor
+        index after the first call.
+        """
+        return self._survivor_index(config)[0]
 
     def effective_dpus(self, config: UPMEMConfig) -> int:
         """Healthy fleet size under this plan."""
         return config.n_dpus - len(self.disabled_dpu_ids(config))
+
+    # -- shard-scoped queries (all O(1) via the survivor index) ------------
+
+    def is_disabled(self, config: UPMEMConfig, dpu: int) -> bool:
+        """Whether one DPU is permanently disabled under this plan."""
+        if not 0 <= dpu < config.n_dpus:
+            raise ParameterError(
+                f"dpu id out of range [0, {config.n_dpus}): {dpu}"
+            )
+        return dpu in self._survivor_index(config)[0]
+
+    def disabled_in_span(
+        self, config: UPMEMConfig, start: int, stop: int
+    ) -> int:
+        """Disabled-DPU count in the half-open id span ``[start, stop)``."""
+        if not 0 <= start <= stop <= config.n_dpus:
+            raise ParameterError(
+                f"span [{start}, {stop}) out of range "
+                f"[0, {config.n_dpus}]"
+            )
+        prefix = self._survivor_index(config)[2]
+        return prefix[stop] - prefix[start]
+
+    def effective_in_span(
+        self, config: UPMEMConfig, start: int, stop: int
+    ) -> int:
+        """Healthy-DPU count in the half-open id span ``[start, stop)``."""
+        return (stop - start) - self.disabled_in_span(config, start, stop)
+
+    def disabled_in_rank(self, config: UPMEMConfig, rank: int) -> int:
+        """Disabled-DPU count on one rank."""
+        if not 0 <= rank < config.n_ranks:
+            raise ParameterError(
+                f"rank out of range [0, {config.n_ranks}): {rank}"
+            )
+        first = rank * config.dpus_per_rank
+        last = min(first + config.dpus_per_rank, config.n_dpus)
+        return self.disabled_in_span(config, first, last)
+
+    def shard_view(
+        self, config: UPMEMConfig, start: int, stop: int
+    ) -> "FaultPlan":
+        """A plan scoped to the sub-fleet ``[start, stop)``.
+
+        Permanently disabled DPUs inside the span are renumbered to
+        shard-local ids; transient/stuck/corruption rates carry over
+        unchanged, drawn from a seed salted with the span so sibling
+        shards see independent fault streams. Scripted outcome
+        sequences are *not* forwarded — they are global FIFO channels
+        with no well-defined per-shard split (surgical tests script the
+        shard view directly instead).
+        """
+        if not 0 <= start < stop <= config.n_dpus:
+            raise ParameterError(
+                f"shard span [{start}, {stop}) out of range "
+                f"[0, {config.n_dpus}]"
+            )
+        ordered = self._survivor_index(config)[1]
+        local = tuple(
+            dpu - start for dpu in ordered if start <= dpu < stop
+        )
+        return FaultPlan(
+            seed=int(_unit_hash(self.seed, "shard", start, stop) * 2**63),
+            transient_rate=self.transient_rate,
+            corruption_rate=self.corruption_rate,
+            stuck_rate=self.stuck_rate,
+            disabled_dpus=local,
+        )
 
     # -- transient faults --------------------------------------------------
 

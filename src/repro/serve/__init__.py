@@ -23,11 +23,23 @@ computable, regression-gated model (ROADMAP item 2):
   sweep document persistence, and the Chrome-trace export (one lane
   per request class).
 
+Fault tolerance rides on top (PR 10):
+
+* :mod:`repro.serve.shard` — rank-aligned fleet partitioning with
+  deterministic ciphertext→shard placement and per-shard pricing
+  (single shard + zero faults stays bit-identical to
+  ``baselines/perf.json``);
+* :mod:`repro.serve.resilience` — health-aware routing, per-shard
+  circuit breakers, retry budgets, hedged dispatch, SLO-coupled load
+  shedding, and the RESILIENCE gate
+  (``baselines/resilience.json``, ``repro resil record|check|html``).
+
 SLO accounting (digests, burn rates, verdicts) lives in
 :mod:`repro.obs.slo`; the CLI surface is ``repro serve run|sweep|html``
 and the capacity dashboard is
 :func:`repro.obs.htmlreport.render_serve_report`. See
-``docs/observability.md`` ("Serving & SLOs").
+``docs/observability.md`` ("Serving & SLOs") and
+``docs/robustness.md`` ("Sharded serving & resilience").
 """
 
 from repro.serve.arrivals import OpenLoopArrivals
@@ -35,6 +47,21 @@ from repro.serve.scheduler import (
     BatchLaunch,
     BatchScheduler,
     RequestTimeline,
+)
+from repro.serve.resilience import (
+    BreakerSpec,
+    CircuitBreaker,
+    ResilienceResult,
+    ResilienceSpec,
+    capture_resilience_run,
+    check_resilience_runs,
+    degraded_plan,
+    read_resilience_run,
+    render_resilience_check,
+    render_resilience_text,
+    resilience_exit_code,
+    simulate_resilient,
+    write_resilience_run,
 )
 from repro.serve.service import (
     DEFAULT_HEALTHY_GRID,
@@ -51,6 +78,13 @@ from repro.serve.service import (
     sweep_capacity,
     timelines_to_chrome_trace,
     write_serve_sweep,
+)
+from repro.serve.shard import (
+    ShardedPricer,
+    ShardLayout,
+    check_sharded_baseline,
+    home_shard,
+    make_layout,
 )
 
 __all__ = [
@@ -72,4 +106,22 @@ __all__ = [
     "render_point_text",
     "render_sweep_text",
     "timelines_to_chrome_trace",
+    "ShardLayout",
+    "make_layout",
+    "home_shard",
+    "ShardedPricer",
+    "check_sharded_baseline",
+    "BreakerSpec",
+    "CircuitBreaker",
+    "ResilienceSpec",
+    "ResilienceResult",
+    "simulate_resilient",
+    "degraded_plan",
+    "capture_resilience_run",
+    "check_resilience_runs",
+    "resilience_exit_code",
+    "render_resilience_check",
+    "render_resilience_text",
+    "write_resilience_run",
+    "read_resilience_run",
 ]

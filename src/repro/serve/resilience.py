@@ -1,0 +1,1224 @@
+"""Fault-tolerant sharded serving: health-aware routing, breakers,
+hedging, shedding — and the RESILIENCE gate.
+
+The tentpole on top of :mod:`repro.serve.shard`: a sharded serving
+point (:func:`simulate_resilient`) where the fleet is K sub-fleets with
+independent modelled timelines and faults degrade *capacity* instead of
+every request:
+
+* **health-aware placement** — requests hash to a home shard; batches
+  whose home is dead (no healthy DPUs) or breaker-blocked route to the
+  healthiest usable shard, deterministically;
+* **circuit breakers** — one per shard, the classic
+  closed → open → half-open machine on consecutive
+  :class:`~repro.errors.PermanentDeviceError` dispatches, with the
+  cooldown priced in **modelled** time;
+* **retry budgets** — a failed dispatch redispatches to the next-best
+  shard while the budget lasts; the failure's modelled cost (wasted
+  launch attempts plus the policy's capped backoffs) still occupies
+  the failing shard;
+* **hedged dispatch** — a batch whose queue wait exceeds
+  ``hedge_after_s`` is duplicated on the healthiest idle shard; the
+  first completion wins and the loser's busy seconds are accounted as
+  hedge overhead (both copies priced through the untouched
+  :class:`~repro.pim.runtime.PIMRuntime`);
+* **SLO-coupled shedding** — when the running burn rate crosses
+  ``shed_burn_threshold``, sealed batches of the lowest-priority
+  classes are shed (counted as rejections) to protect the rest.
+
+Everything is seeded and bit-reproducible. The degenerate
+configuration — one shard, zero faults, no hedging, no shedding —
+reproduces :func:`repro.serve.service.simulate` timelines exactly, and
+the single-shard pricer reproduces ``baselines/perf.json`` bit-for-bit
+(:func:`repro.serve.shard.check_sharded_baseline`), so MODEL-DRIFT
+stays green.
+
+The **RESILIENCE gate** locks degraded-fleet SLO attainment per
+(fault seed × shard count × QPS) point in ``baselines/resilience.json``
+(``repro resil record/check/html``): :func:`capture_resilience_run`
+sweeps healthy and one-dead-shard fleets across shard counts, records
+per-point attainment/latency/breaker/hedge scalars, and
+:func:`check_resilience_runs` demands exact equality — any difference
+is ``RESILIENCE-DRIFT``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError, PermanentDeviceError
+from repro.obs.energy import exact_diffs
+from repro.obs.metrics import get_registry
+from repro.obs.runident import run_identity
+from repro.obs.slo import (
+    VERDICT_SLO_BREACH,
+    VERDICT_SLO_OK,
+    SLOTracker,
+)
+from repro.obs.trace import get_tracer
+from repro.pim.config import UPMEMConfig
+from repro.pim.faults import DEFAULT_RETRY_POLICY, FaultPlan
+from repro.serve.scheduler import BatchScheduler, RequestTimeline
+from repro.serve.service import (
+    SCHEMA_VERSION,
+    RequestClass,
+    ServeSpec,
+    _admitted_arrivals,
+)
+from repro.serve.shard import (
+    ShardedPricer,
+    check_sharded_baseline,
+    home_shard,
+    make_layout,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "VERDICT_RESIL_OK",
+    "VERDICT_RESIL_NEW",
+    "VERDICT_RESIL_DRIFT",
+    "DEFAULT_RESIL_BASELINE_PATH",
+    "DEFAULT_RESIL_HISTORY_PATH",
+    "DEFAULT_RESIL_SEEDS",
+    "DEFAULT_SHARD_COUNTS",
+    "DEFAULT_RESIL_QPS",
+    "BreakerSpec",
+    "CircuitBreaker",
+    "ResilienceSpec",
+    "ShardLaunch",
+    "ResilienceResult",
+    "simulate_resilient",
+    "degraded_plan",
+    "capture_resilience_run",
+    "check_resilience_runs",
+    "resilience_exit_code",
+    "render_resilience_check",
+    "render_resilience_text",
+    "write_resilience_run",
+    "read_resilience_run",
+    "append_resilience_history",
+    "read_resilience_history",
+    "emit_resilient_spans",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+VERDICT_RESIL_OK = "ok"
+VERDICT_RESIL_NEW = "new"
+VERDICT_RESIL_DRIFT = "RESILIENCE-DRIFT"
+
+#: Where ``repro resil record`` writes the committed gate baseline.
+DEFAULT_RESIL_BASELINE_PATH = "baselines/resilience.json"
+
+#: Where every recorded resilience run is appended, one JSON per line.
+DEFAULT_RESIL_HISTORY_PATH = "baselines/resilience-history.jsonl"
+
+#: Fault seeds swept by the default RESILIENCE gate grid (matches the
+#: CI chaos matrix).
+DEFAULT_RESIL_SEEDS = (1, 7)
+
+#: Shard counts swept by default: unsharded vs the reference partition.
+DEFAULT_SHARD_COUNTS = (1, 4)
+
+#: Offered-QPS grid swept by default (requests/s). The top of the grid
+#: straddles the degraded-fleet saturation knee at vec_add@54: under
+#: one dead shard's ranks the unsharded model breaches p99 at 144k
+#: (every request pays the global slowdown) while the 4-shard fleet
+#: routes around the casualty and sustains 144k, hedging stragglers
+#: at 176k.
+DEFAULT_RESIL_QPS = (2000.0, 96000.0, 144000.0, 176000.0)
+
+
+@dataclass(frozen=True)
+class BreakerSpec:
+    """Parameters of one shard's circuit breaker."""
+
+    #: Consecutive failed dispatches that trip the breaker open.
+    failure_threshold: int = 3
+
+    #: Modelled seconds the breaker stays open before admitting one
+    #: half-open trial dispatch.
+    cooldown_s: float = 25e-3
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ParameterError(
+                f"failure_threshold must be >= 1: {self.failure_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise ParameterError(
+                f"cooldown_s must be non-negative: {self.cooldown_s}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "failure_threshold": self.failure_threshold,
+            "cooldown_s": self.cooldown_s,
+        }
+
+
+class CircuitBreaker:
+    """Closed → open → half-open, all transitions in modelled time.
+
+    Closed counts consecutive failures; at ``failure_threshold`` it
+    trips open for ``cooldown_s`` modelled seconds. An open breaker
+    whose cooldown has elapsed admits dispatches again (the half-open
+    trial); the first success closes it, another failure re-trips it
+    for a fresh cooldown. Dispatch is serial per decision point, so the
+    single-trial discipline needs no extra bookkeeping.
+    """
+
+    def __init__(self, spec: BreakerSpec):
+        self.spec = spec
+        self.opened_count = 0
+        self._consecutive = 0
+        self._open = False
+        self._open_until = 0.0
+
+    def state(self, now: float) -> str:
+        if not self._open:
+            return BREAKER_CLOSED
+        return BREAKER_HALF_OPEN if now >= self._open_until else BREAKER_OPEN
+
+    def allows(self, now: float) -> bool:
+        """Whether a dispatch may target this shard at modelled ``now``."""
+        return not self._open or now >= self._open_until
+
+    def record_success(self, now: float) -> None:
+        self._consecutive = 0
+        self._open = False
+
+    def record_failure(self, now: float) -> None:
+        self._consecutive += 1
+        if self._open or self._consecutive >= self.spec.failure_threshold:
+            self._open = True
+            self._open_until = now + self.spec.cooldown_s
+            self.opened_count += 1
+
+
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """One sharded resilient serving point, fully specified."""
+
+    serve: ServeSpec = ServeSpec()
+    n_shards: int = 4
+    breaker: BreakerSpec = BreakerSpec()
+
+    #: Redispatches allowed per batch after its first target fails
+    #: (the first dispatch is free; 0 = fail fast).
+    retry_budget: int = 1
+
+    #: Queue wait (seal -> service start) beyond which the batch is
+    #: hedged on the healthiest other usable shard. ``None`` disables
+    #: hedging.
+    hedge_after_s: float | None = None
+
+    #: Running burn rate beyond which sealed batches of the
+    #: lowest-priority classes are shed. ``None`` disables shedding.
+    shed_burn_threshold: float | None = None
+
+    #: Explicit fault plan; ``None`` derives one from
+    #: ``serve.healthy`` exactly like the unsharded point.
+    plan: FaultPlan | None = None
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise ParameterError(
+                f"n_shards must be >= 1: {self.n_shards}"
+            )
+        if self.retry_budget < 0:
+            raise ParameterError(
+                f"retry_budget must be non-negative: {self.retry_budget}"
+            )
+        if self.hedge_after_s is not None and self.hedge_after_s < 0:
+            raise ParameterError(
+                f"hedge_after_s must be non-negative: {self.hedge_after_s}"
+            )
+        if (
+            self.shed_burn_threshold is not None
+            and self.shed_burn_threshold <= 0
+        ):
+            raise ParameterError(
+                "shed_burn_threshold must be positive: "
+                f"{self.shed_burn_threshold}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "serve": self.serve.to_dict(),
+            "n_shards": self.n_shards,
+            "breaker": self.breaker.to_dict(),
+            "retry_budget": self.retry_budget,
+            "hedge_after_s": self.hedge_after_s,
+            "shed_burn_threshold": self.shed_burn_threshold,
+            "plan": _plan_spec(self.plan) if self.plan is not None else None,
+        }
+
+
+def _plan_spec(plan: FaultPlan) -> dict:
+    """The JSON-able spec fields of a fault plan (no draw state)."""
+    return {
+        "seed": plan.seed,
+        "dpu_fail_rate": plan.dpu_fail_rate,
+        "transient_rate": plan.transient_rate,
+        "corruption_rate": plan.corruption_rate,
+        "stuck_rate": plan.stuck_rate,
+        "disabled_dpus": list(plan.disabled_dpus),
+        "disabled_ranks": list(plan.disabled_ranks),
+        "disable_dpus": plan.disable_dpus,
+        "launch_script": list(plan.launch_script),
+        "transfer_script": list(plan.transfer_script),
+    }
+
+
+@dataclass
+class ShardLaunch:
+    """One shared launch on one shard (hedge copies included)."""
+
+    index: int
+    class_key: str
+    shard: int
+    home_shard: int
+    batch_size: int
+    ops: int
+    seal_s: float
+    service_start_s: float
+    complete_s: float
+    service_seconds: float
+    launch_s: float
+    kernel_s: float
+    fault_s: float
+    transfer_s: float
+    bound: str
+    dpus_used: int
+    hedged: bool = False
+    hedge_winner: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "class": self.class_key,
+            "shard": self.shard,
+            "home_shard": self.home_shard,
+            "batch_size": self.batch_size,
+            "ops": self.ops,
+            "seal_s": self.seal_s,
+            "service_start_s": self.service_start_s,
+            "complete_s": self.complete_s,
+            "service_seconds": self.service_seconds,
+            "launch_s": self.launch_s,
+            "kernel_s": self.kernel_s,
+            "fault_s": self.fault_s,
+            "transfer_s": self.transfer_s,
+            "bound": self.bound,
+            "dpus_used": self.dpus_used,
+            "hedged": self.hedged,
+            "hedge_winner": self.hedge_winner,
+        }
+
+
+@dataclass
+class ResilienceResult:
+    """Everything one resilient serving point produced."""
+
+    spec: ResilienceSpec
+    layout: object
+    timelines: list
+    launches: list
+    reports: dict
+    doc: dict
+
+
+def _running_burn(trackers: dict) -> float:
+    """Worst running burn rate across classes and objectives."""
+    worst = 0.0
+    for tracker in trackers.values():
+        completed = tracker.digest.count
+        if not completed:
+            continue
+        for objective, bad in zip(tracker.objectives, tracker.bad):
+            burn = (bad / completed) / objective.allowed_bad_fraction
+            worst = max(worst, burn)
+    return worst
+
+
+def _failure_cost_s(policy, config: UPMEMConfig) -> float:
+    """Modelled seconds one exhausted dispatch wastes on its shard.
+
+    The runtime raises :class:`~repro.errors.PermanentDeviceError`
+    after ``max_attempts`` consecutive failed launches; the failing
+    shard still paid every launch overhead plus the policy's (capped)
+    backoff between attempts.
+    """
+    cost = policy.max_attempts * config.launch_overhead_s
+    for failures in range(1, policy.max_attempts):
+        cost += policy.backoff_seconds(failures)
+    return cost
+
+
+def simulate_resilient(rspec: ResilienceSpec) -> ResilienceResult:
+    """Run one sharded resilient serving point in modelled time.
+
+    Deterministic: the same spec yields byte-identical timelines and
+    documents (modulo run identity). With one shard, zero faults, and
+    hedging/shedding disabled, the produced timelines equal
+    :func:`repro.serve.service.simulate`'s exactly — the resilience
+    machinery adds routing, never arithmetic.
+    """
+    from repro.harness.chaos import plan_for_healthy_fraction
+
+    spec = rspec.serve
+    config = UPMEMConfig()
+    layout = make_layout(rspec.n_shards, config)
+    if rspec.plan is not None:
+        plan = rspec.plan
+    else:
+        plan = plan_for_healthy_fraction(spec.healthy, spec.seed, config)
+    registry = get_registry()
+    trackers = {c.key: SLOTracker(spec.objectives) for c in spec.classes}
+    class_arrivals = _admitted_arrivals(spec, trackers, registry)
+
+    pricer = ShardedPricer(spec.classes, layout, plan, config)
+    n_shards = layout.n_shards
+    healthy = [pricer.healthy_dpus(s) for s in range(n_shards)]
+    policy = pricer.retry_policy or DEFAULT_RETRY_POLICY
+    failure_cost = _failure_cost_s(policy, config)
+
+    scheduler = BatchScheduler(
+        max_batch=spec.max_batch, max_wait_s=spec.max_wait_s
+    )
+
+    # Place every admitted request on its home shard, then form batches
+    # per (class, home shard) — each shard runs its own formation timer.
+    sealed = []
+    for class_key in sorted(class_arrivals):
+        arrivals = class_arrivals[class_key]
+        per_shard: dict = {}
+        for index in range(len(arrivals)):
+            home = home_shard(layout, spec.seed, class_key, index)
+            per_shard.setdefault(home, []).append(index)
+        for home in sorted(per_shard):
+            owners = per_shard[home]
+            times = [arrivals[i] for i in owners]
+            for batch_index, (seal, members) in enumerate(
+                scheduler.form_batches(times)
+            ):
+                sealed.append(
+                    (
+                        seal,
+                        class_key,
+                        home,
+                        batch_index,
+                        [owners[i] for i in members],
+                    )
+                )
+    sealed.sort(key=lambda item: (item[0], item[1], item[2], item[3]))
+
+    min_priority = min(c.priority for c in spec.classes)
+    sheddable = {
+        c.key for c in spec.classes if c.priority == min_priority
+    }
+    by_key = {c.key: c for c in spec.classes}
+
+    shard_free = [0.0] * n_shards
+    shard_busy = [0.0] * n_shards
+    shard_launches = [0] * n_shards
+    breakers = [CircuitBreaker(rspec.breaker) for _ in range(n_shards)]
+    routed_batches = 0
+    redispatches = 0
+    failed_batches = 0
+    failed_requests = 0
+    hedges_issued = 0
+    hedges_won = 0
+    hedge_overhead_s = 0.0
+    shed_batches = 0
+    shed_by_class = {c.key: 0 for c in spec.classes}
+    good_by_class = {c.key: 0 for c in spec.classes}
+    energy_total_j = 0.0
+    movement_total_bytes = 0
+    timelines: list = []
+    launches: list = []
+
+    def usable(shard: int, now: float) -> bool:
+        return healthy[shard] > 0 and breakers[shard].allows(now)
+
+    def ranked(now: float) -> list:
+        # Healthiest first; earliest-free then lowest index break ties.
+        return sorted(
+            range(n_shards),
+            key=lambda s: (-healthy[s], shard_free[s], s),
+        )
+
+    def charge_failure(shard: int, now: float) -> None:
+        start = max(now, shard_free[shard])
+        shard_free[shard] = start + failure_cost
+        shard_busy[shard] += failure_cost
+        breakers[shard].record_failure(start + failure_cost)
+        registry.counter("serve.shard.failures").inc()
+
+    for seal, class_key, home, batch_index, members in sealed:
+        if (
+            rspec.shed_burn_threshold is not None
+            and class_key in sheddable
+            and _running_burn(trackers) > rspec.shed_burn_threshold
+        ):
+            for _ in members:
+                trackers[class_key].reject()
+            shed_batches += 1
+            shed_by_class[class_key] += len(members)
+            registry.counter(f"serve.shed.{class_key}").inc(len(members))
+            continue
+
+        batch_size = len(members)
+        tried: set = set()
+        budget = rspec.retry_budget
+        target = None
+        breakdown = None
+        while True:
+            order = [home] + [s for s in ranked(seal) if s != home]
+            pick = None
+            for shard in order:
+                if shard not in tried and usable(shard, seal):
+                    pick = shard
+                    break
+            if pick is None:
+                break
+            try:
+                breakdown = pricer.price(pick, class_key, batch_size)
+            except PermanentDeviceError:
+                tried.add(pick)
+                charge_failure(pick, seal)
+                redispatches += 1
+                registry.counter("serve.redispatch").inc()
+                if budget == 0:
+                    break
+                budget -= 1
+                continue
+            target = pick
+            break
+        if target is None or breakdown is None:
+            failed_batches += 1
+            failed_requests += batch_size
+            for _ in members:
+                trackers[class_key].reject()
+            registry.counter(f"serve.failed.{class_key}").inc(batch_size)
+            continue
+        if target != home:
+            routed_batches += 1
+            registry.counter("serve.shard.routed").inc()
+
+        start = max(seal, shard_free[target])
+        detail = breakdown.detail
+        copies = [(target, start, breakdown)]
+
+        if (
+            rspec.hedge_after_s is not None
+            and (start - seal) > rspec.hedge_after_s
+        ):
+            # Straggler: duplicate on the earliest-free other usable
+            # shard (idle-first — the whole point is spare capacity).
+            alternates = [
+                s
+                for s in sorted(
+                    range(n_shards),
+                    key=lambda s: (shard_free[s], -healthy[s], s),
+                )
+                if s != target and s not in tried and usable(s, seal)
+            ]
+            if alternates:
+                alt = alternates[0]
+                try:
+                    alt_breakdown = pricer.price(alt, class_key, batch_size)
+                except PermanentDeviceError:
+                    charge_failure(alt, seal)
+                else:
+                    alt_start = max(seal, shard_free[alt])
+                    copies.append((alt, alt_start, alt_breakdown))
+                    hedges_issued += 1
+                    registry.counter("serve.hedge.issued").inc()
+
+        # Every dispatched copy occupies its shard for its full priced
+        # duration — hedging buys latency with capacity, and the
+        # loser's busy time is the price.
+        finished = []
+        for shard, start_s, bd in copies:
+            bd_detail = bd.detail
+            transfer_s = float(bd_detail.get("transfer_s", 0.0))
+            complete = start_s + bd.seconds + transfer_s
+            shard_free[shard] = complete
+            shard_busy[shard] += complete - start_s
+            shard_launches[shard] += 1
+            breakers[shard].record_success(complete)
+            energy_total_j += float(bd_detail.get("energy_j", 0.0))
+            movement_total_bytes += int(
+                bd_detail.get("movement_bytes", 0)
+            )
+            finished.append((complete, shard, start_s, bd))
+            registry.counter("serve.shard.launches").inc()
+        winner = min(finished, key=lambda item: (item[0], item[1]))
+        complete, win_shard, win_start, win_bd = winner
+        if len(finished) > 1:
+            if win_shard != target:
+                hedges_won += 1
+                registry.counter("serve.hedge.won").inc()
+            hedge_overhead_s += sum(
+                item[0] - item[2] for item in finished if item is not winner
+            )
+
+        detail = win_bd.detail
+        launch_s = float(detail.get("launch_s", 0.0))
+        kernel_s = float(detail.get("kernel_s", 0.0))
+        transfer_s = float(detail.get("transfer_s", 0.0))
+        fault_s = win_bd.seconds - launch_s - kernel_s
+        for copy_complete, shard, copy_start, bd in finished:
+            launches.append(
+                ShardLaunch(
+                    index=len(launches),
+                    class_key=class_key,
+                    shard=shard,
+                    home_shard=home,
+                    batch_size=batch_size,
+                    ops=int(bd.detail.get("ops", batch_size)),
+                    seal_s=seal,
+                    service_start_s=copy_start,
+                    complete_s=copy_complete,
+                    service_seconds=bd.seconds,
+                    launch_s=float(bd.detail.get("launch_s", 0.0)),
+                    kernel_s=float(bd.detail.get("kernel_s", 0.0)),
+                    fault_s=bd.seconds
+                    - float(bd.detail.get("launch_s", 0.0))
+                    - float(bd.detail.get("kernel_s", 0.0)),
+                    transfer_s=float(bd.detail.get("transfer_s", 0.0)),
+                    bound=str(bd.detail.get("bound", "?")),
+                    dpus_used=int(bd.detail.get("dpus_used", 0)),
+                    hedged=len(finished) > 1,
+                    hedge_winner=len(finished) > 1
+                    and shard == win_shard,
+                )
+            )
+
+        arrivals = class_arrivals[class_key]
+        for member in members:
+            timeline = RequestTimeline(
+                request_id=f"{class_key}/{member}",
+                class_key=class_key,
+                arrival_s=arrivals[member],
+                batch_formed_s=seal,
+                service_start_s=win_start,
+                launch_s=launch_s,
+                kernel_s=kernel_s,
+                fault_s=fault_s,
+                transfer_s=transfer_s,
+                complete_s=complete,
+                batch_index=batch_index,
+                batch_size=batch_size,
+            )
+            timelines.append(timeline)
+            trackers[class_key].observe(timeline.latency_s)
+            registry.histogram("serve.latency_s").observe(
+                timeline.latency_s
+            )
+            if all(
+                timeline.latency_s <= o.threshold_s
+                for o in spec.objectives
+            ):
+                good_by_class[class_key] += 1
+
+    for shard in range(n_shards):
+        if breakers[shard].opened_count:
+            registry.counter("serve.breaker.opened").inc(
+                breakers[shard].opened_count
+            )
+
+    horizon = max(
+        [spec.duration_s] + [launch.complete_s for launch in launches]
+    )
+    reports = {
+        key: tracker.report(duration_s=spec.duration_s)
+        for key, tracker in trackers.items()
+    }
+    breached = any(
+        r["verdict"] == VERDICT_SLO_BREACH for r in reports.values()
+    )
+    completed = sum(r["completed"] for r in reports.values())
+    rejected = sum(r["rejected"] for r in reports.values())
+    offered = completed + rejected
+    good = sum(good_by_class.values())
+
+    shards_doc = []
+    for shard in range(n_shards):
+        start, stop = layout.span_of(shard)
+        shards_doc.append(
+            {
+                "shard": shard,
+                "span": [start, stop],
+                "ranks": list(layout.ranks_of(shard)),
+                "total_dpus": stop - start,
+                "healthy_dpus": healthy[shard],
+                "launches": shard_launches[shard],
+                "busy_s": shard_busy[shard],
+                "utilization": (
+                    shard_busy[shard] / horizon if horizon > 0 else 0.0
+                ),
+                "breaker": {
+                    "opened": breakers[shard].opened_count,
+                    "final_state": breakers[shard].state(horizon),
+                },
+            }
+        )
+
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "kind": "resil-point",
+        "spec": rspec.to_dict(),
+        "n_dpus": config.n_dpus,
+        "n_shards": n_shards,
+        "layout": layout.to_dict(),
+        "plan": _plan_spec(plan),
+        "effective_dpus": sum(healthy),
+    }
+    doc.update(run_identity())
+    doc["classes"] = {key: reports[key] for key in sorted(reports)}
+    doc["shards"] = shards_doc
+    doc["resilience"] = {
+        "routed_batches": routed_batches,
+        "redispatches": redispatches,
+        "failed_batches": failed_batches,
+        "failed_requests": failed_requests,
+        "hedges_issued": hedges_issued,
+        "hedges_won": hedges_won,
+        "hedge_overhead_s": hedge_overhead_s,
+        "shed_batches": shed_batches,
+        "shed_by_class": {
+            key: shed_by_class[key] for key in sorted(shed_by_class)
+        },
+        "breaker_opened": sum(b.opened_count for b in breakers),
+        "attainment": good / offered if offered else None,
+        "good_requests": good,
+        "offered_requests": offered,
+    }
+    doc["device"] = {
+        "launches": len(launches),
+        "busy_s": sum(shard_busy),
+        "horizon_s": horizon,
+        "utilization": (
+            sum(shard_busy) / (horizon * n_shards)
+            if horizon > 0
+            else 0.0
+        ),
+    }
+    doc["energy"] = {
+        "total_j": energy_total_j,
+        "avg_watts": energy_total_j / horizon if horizon > 0 else 0.0,
+        "j_per_request": (
+            energy_total_j / completed if completed else None
+        ),
+        "movement_bytes": movement_total_bytes,
+    }
+    doc["verdict"] = VERDICT_SLO_BREACH if breached else VERDICT_SLO_OK
+    return ResilienceResult(
+        spec=rspec,
+        layout=layout,
+        timelines=timelines,
+        launches=launches,
+        reports=reports,
+        doc=doc,
+    )
+
+
+def emit_resilient_spans(result: ResilienceResult) -> int:
+    """Re-emit resilient launches as ``repro.obs`` spans.
+
+    One span per dispatched launch copy with shard/home/hedge
+    attributes on the modelled clock; no-op under the null tracer.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return 0
+    emitted = 0
+    for launch in result.launches:
+        with tracer.span(
+            "serve.shard.launch",
+            attrs={
+                "class": launch.class_key,
+                "shard": launch.shard,
+                "home_shard": launch.home_shard,
+                "routed": launch.shard != launch.home_shard,
+                "hedged": launch.hedged,
+                "hedge_winner": launch.hedge_winner,
+                "batch_size": launch.batch_size,
+                "modelled_s": launch.complete_s - launch.service_start_s,
+                "seal_s": launch.seal_s,
+            },
+        ):
+            pass
+        emitted += 1
+    return emitted
+
+
+# -- the RESILIENCE gate -----------------------------------------------------
+
+
+def degraded_plan(seed: int, shard_counts, config: UPMEMConfig) -> tuple:
+    """The gate's one-dead-shard fault plan for a seed.
+
+    The victim is a whole shard of the *reference* layout (the largest
+    swept shard count), chosen by seed; its ranks are disabled. The
+    same plan is applied at every shard count, so the unsharded model
+    degrades globally while a matching sharded layout loses exactly one
+    shard and routes around it. Returns ``(plan, victim_shard)``.
+    """
+    layout = make_layout(max(shard_counts), config)
+    victim = seed % layout.n_shards
+    return (
+        FaultPlan(seed=seed, disabled_ranks=layout.ranks_of(victim)),
+        victim,
+    )
+
+
+def _point_scalars(result: ResilienceResult) -> dict:
+    """The deterministic per-point summary locked by the gate."""
+    doc = result.doc
+    resilience = doc["resilience"]
+    reports = doc["classes"]
+    completed = sum(r["completed"] for r in reports.values())
+    rejected = sum(r["rejected"] for r in reports.values())
+    burns = [
+        o["burn_rate"]
+        for r in reports.values()
+        for o in r["objectives"]
+    ]
+    p99 = [
+        r["latency"]["p99_ms"]
+        for r in reports.values()
+        if r["latency"]["p99_ms"] is not None
+    ]
+    return {
+        "completed": completed,
+        "rejected": rejected,
+        "good": resilience["good_requests"],
+        "attainment": resilience["attainment"],
+        "p99_ms": max(p99) if p99 else None,
+        "max_burn_rate": max(burns) if burns else 0.0,
+        "routed_batches": resilience["routed_batches"],
+        "redispatches": resilience["redispatches"],
+        "failed_requests": resilience["failed_requests"],
+        "hedges_issued": resilience["hedges_issued"],
+        "hedges_won": resilience["hedges_won"],
+        "hedge_overhead_ms": resilience["hedge_overhead_s"] * 1e3,
+        "shed_requests": sum(resilience["shed_by_class"].values()),
+        "breaker_opened": resilience["breaker_opened"],
+        "verdict": doc["verdict"],
+        "shards": [
+            {
+                "shard": s["shard"],
+                "total_dpus": s["total_dpus"],
+                "healthy_dpus": s["healthy_dpus"],
+                "launches": s["launches"],
+                "busy_ms": s["busy_s"] * 1e3,
+                "breaker_opened": s["breaker"]["opened"],
+            }
+            for s in doc["shards"]
+        ],
+    }
+
+
+def capture_resilience_run(
+    workload: str = "vec_add",
+    security_bits: int = 54,
+    seeds=DEFAULT_RESIL_SEEDS,
+    shard_counts=DEFAULT_SHARD_COUNTS,
+    qps_grid=DEFAULT_RESIL_QPS,
+    duration_s: float = 0.1,
+    ops_per_request: int = 64,
+    max_batch: int = 64,
+    max_wait_s: float = 2e-3,
+    breaker: BreakerSpec = BreakerSpec(),
+    retry_budget: int = 1,
+    hedge_after_s: float | None = 5e-3,
+    shed_burn_threshold: float | None = None,
+    baseline: dict | None = None,
+    progress=None,
+) -> dict:
+    """Sweep the RESILIENCE grid and capture the gate document.
+
+    For every (fault seed × shard count × QPS) point, simulate both the
+    healthy fleet and the one-dead-shard fleet (:func:`degraded_plan`)
+    and record the deterministic attainment/latency/breaker/hedge
+    scalars. ``baseline`` (a perf baseline document) rides the
+    single-shard zero-fault bit-identity check along. The whole
+    document is exact-match gated by :func:`check_resilience_runs`.
+    """
+    seeds = tuple(int(s) for s in seeds)
+    shard_counts = tuple(sorted(set(int(k) for k in shard_counts)))
+    rates = tuple(sorted(set(float(q) for q in qps_grid)))
+    if not seeds:
+        raise ParameterError("need at least one fault seed")
+    if not shard_counts:
+        raise ParameterError("need at least one shard count")
+    if not rates:
+        raise ParameterError("qps grid must be non-empty")
+
+    config = UPMEMConfig()
+    points: dict = {}
+    capacity: dict = {}
+    victims: dict = {}
+    for seed in seeds:
+        plan_degraded, victim = degraded_plan(seed, shard_counts, config)
+        victims[str(seed)] = victim
+        for k in shard_counts:
+            sustainable: dict = {}
+            for fleet, plan in (
+                ("healthy", FaultPlan()),
+                ("degraded", plan_degraded),
+            ):
+                passing = []
+                for qps in rates:
+                    label = (
+                        f"seed={seed}:shards={k}:fleet={fleet}:qps={qps:g}"
+                    )
+                    if progress is not None:
+                        progress(label)
+                    spec = ServeSpec(
+                        classes=(
+                            RequestClass(
+                                workload=workload,
+                                security_bits=security_bits,
+                                rate_qps=qps,
+                                ops_per_request=ops_per_request,
+                            ),
+                        ),
+                        duration_s=duration_s,
+                        seed=seed,
+                        max_batch=max_batch,
+                        max_wait_s=max_wait_s,
+                    )
+                    rspec = ResilienceSpec(
+                        serve=spec,
+                        n_shards=k,
+                        breaker=breaker,
+                        retry_budget=retry_budget,
+                        hedge_after_s=hedge_after_s,
+                        shed_burn_threshold=shed_burn_threshold,
+                        plan=plan.scaled(),
+                    )
+                    point = _point_scalars(simulate_resilient(rspec))
+                    points[label] = point
+                    if point["verdict"] == VERDICT_SLO_OK:
+                        passing.append(qps)
+                sustainable[fleet] = max(passing) if passing else None
+            healthy_qps = sustainable["healthy"]
+            degraded_qps = sustainable["degraded"]
+            capacity[f"seed={seed}:shards={k}"] = {
+                "healthy_qps": healthy_qps,
+                "degraded_qps": degraded_qps,
+                "retained": (
+                    degraded_qps / healthy_qps
+                    if healthy_qps and degraded_qps
+                    else None
+                ),
+                # One dead shard of K should cost at most 1/K of the
+                # sustainable rate (hedging overhead rides on top).
+                "retained_floor": 1.0 - 1.0 / k if k > 1 else 0.0,
+            }
+
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "kind": "resilience-baseline",
+        "workload": workload,
+        "security_bits": security_bits,
+        "seeds": list(seeds),
+        "shard_counts": list(shard_counts),
+        "qps_grid": list(rates),
+        "duration_s": duration_s,
+        "ops_per_request": ops_per_request,
+        "max_batch": max_batch,
+        "max_wait_s": max_wait_s,
+        "config": {
+            "breaker": breaker.to_dict(),
+            "retry_budget": retry_budget,
+            "hedge_after_s": hedge_after_s,
+            "shed_burn_threshold": shed_burn_threshold,
+        },
+        "victims": victims,
+    }
+    doc.update(run_identity())
+    doc["points"] = points
+    doc["capacity"] = capacity
+    if baseline is not None:
+        doc["baseline_check"] = check_sharded_baseline(
+            baseline,
+            workload=workload,
+            security_levels=(security_bits,),
+            ops_per_request=ops_per_request,
+        )
+    return doc
+
+
+# -- persistence -------------------------------------------------------------
+
+
+def _validate_resilience_run(doc, source: str) -> dict:
+    if not isinstance(doc, dict):
+        raise ParameterError(
+            f"{source}: resilience document must be a JSON object"
+        )
+    if (
+        doc.get("schema") != SCHEMA_VERSION
+        or doc.get("kind") != "resilience-baseline"
+    ):
+        raise ParameterError(
+            f"{source}: unsupported resilience document "
+            f"(schema {doc.get('schema')!r}, kind {doc.get('kind')!r}); "
+            "re-record with 'repro resil record'"
+        )
+    if not isinstance(doc.get("points"), dict):
+        raise ParameterError(f"{source}: resilience document missing 'points'")
+    return doc
+
+
+def write_resilience_run(doc: dict, path) -> None:
+    """Write one resilience document as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+def read_resilience_run(path) -> dict:
+    """Read and schema-validate a resilience document."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ParameterError(
+            f"no resilience baseline at {path}; record one with "
+            "'repro resil record'"
+        )
+    return _validate_resilience_run(
+        json.loads(path.read_text()), str(path)
+    )
+
+
+def append_resilience_history(doc: dict, path) -> None:
+    """Append one resilience document to the JSONL history."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(doc, sort_keys=True) + "\n")
+
+
+def read_resilience_history(path) -> list:
+    """Every resilience document in the history (missing file = [])."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    return [
+        _validate_resilience_run(json.loads(line), str(path))
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+# -- the check ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResilienceVerdict:
+    """One grid point's (or the config's) comparison outcome."""
+
+    point: str
+    verdict: str
+    notes: tuple = field(default_factory=tuple)
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict == VERDICT_RESIL_DRIFT
+
+    def describe(self) -> str:
+        line = f"[{self.verdict:>16}] {self.point}"
+        for note in self.notes:
+            line += f"\n                   - {note}"
+        return line
+
+
+#: Top-level scalar fields compared as the ``<resil-config>`` row.
+_CONFIG_FIELDS = (
+    "workload",
+    "security_bits",
+    "seeds",
+    "shard_counts",
+    "qps_grid",
+    "duration_s",
+    "ops_per_request",
+    "max_batch",
+    "max_wait_s",
+    "config",
+    "victims",
+)
+
+
+def check_resilience_runs(baseline: dict, current: dict) -> list:
+    """Compare a current resilience capture against the baseline.
+
+    Exact-match policy throughout — every point scalar is
+    deterministic modelled arithmetic, so *any* difference is
+    ``RESILIENCE-DRIFT``. The grid configuration is compared first (as
+    ``<resil-config>``); points present only in the current run are
+    ``new`` (adopt with ``--update``); baseline points absent from the
+    current run are not checked (the caller narrowed the grid).
+    """
+    verdicts = []
+    config_notes = []
+    for field_name in _CONFIG_FIELDS:
+        config_notes.extend(
+            exact_diffs(
+                field_name,
+                baseline.get(field_name),
+                current.get(field_name),
+            )
+        )
+    verdicts.append(
+        ResilienceVerdict(
+            "<resil-config>",
+            VERDICT_RESIL_DRIFT if config_notes else VERDICT_RESIL_OK,
+            notes=tuple(config_notes),
+        )
+    )
+    for family in ("points", "capacity", "baseline_check"):
+        base_family = baseline.get(family, {})
+        cur_family = current.get(family, {})
+        if family == "baseline_check":
+            # Stored as verdict lists keyed by experiment.
+            base_family = {
+                v["experiment"]: v for v in baseline.get(family, [])
+            }
+            cur_family = {
+                v["experiment"]: v for v in current.get(family, [])
+            }
+        for key in sorted(cur_family):
+            label = f"{family}:{key}" if family != "points" else key
+            base = base_family.get(key)
+            if base is None:
+                verdicts.append(
+                    ResilienceVerdict(
+                        label,
+                        VERDICT_RESIL_NEW,
+                        notes=("not in baseline; adopt with --update",),
+                    )
+                )
+                continue
+            notes = exact_diffs("", base, cur_family[key])
+            verdicts.append(
+                ResilienceVerdict(
+                    label,
+                    VERDICT_RESIL_DRIFT if notes else VERDICT_RESIL_OK,
+                    notes=tuple(notes),
+                )
+            )
+    return verdicts
+
+
+def resilience_exit_code(verdicts) -> int:
+    """0 when nothing drifted, 1 otherwise."""
+    return 1 if any(v.failed for v in verdicts) else 0
+
+
+def render_resilience_check(
+    verdicts, baseline: dict, current: dict
+) -> str:
+    """The RESILIENCE gate report as aligned text with a summary."""
+    lines = [
+        "resilience check — current capture vs committed baseline",
+        f"  baseline: run {str(baseline.get('run_id', '?'))[:12]} "
+        f"({baseline.get('created_at', '?')}, "
+        f"git {str(baseline.get('git_sha'))[:12]})",
+        f"  current:  run {str(current.get('run_id', '?'))[:12]} "
+        f"({current.get('created_at', '?')}, "
+        f"git {str(current.get('git_sha'))[:12]})",
+        "",
+    ]
+    lines.extend(v.describe() for v in verdicts)
+    counts: dict = {}
+    for v in verdicts:
+        counts[v.verdict] = counts.get(v.verdict, 0) + 1
+    lines.append("")
+    lines.append(
+        "summary: "
+        + ", ".join(
+            f"{counts.get(k, 0)} {k}"
+            for k in (
+                VERDICT_RESIL_OK,
+                VERDICT_RESIL_NEW,
+                VERDICT_RESIL_DRIFT,
+            )
+        )
+        + f" of {len(verdicts)} checks"
+    )
+    return "\n".join(lines)
+
+
+def render_resilience_text(doc: dict) -> str:
+    """A recorded resilience document as a terminal report."""
+    lines = [
+        f"resilience grid — {doc['workload']}@{doc['security_bits']}, "
+        f"seeds {doc['seeds']}, shards {doc['shard_counts']}, "
+        f"qps {doc['qps_grid']}, {doc['duration_s']:g} s window"
+    ]
+    lines.append(
+        "\ncapacity under one dead shard "
+        "(sustainable qps, degraded/healthy):"
+    )
+    for key in sorted(doc["capacity"]):
+        entry = doc["capacity"][key]
+        retained = entry["retained"]
+        lines.append(
+            f"  {key}: healthy "
+            + (
+                f"{entry['healthy_qps']:g}"
+                if entry["healthy_qps"] is not None
+                else "none"
+            )
+            + " -> degraded "
+            + (
+                f"{entry['degraded_qps']:g}"
+                if entry["degraded_qps"] is not None
+                else "none"
+            )
+            + (
+                f" (retained {retained:.2f}, "
+                f"floor {entry['retained_floor']:.2f})"
+                if retained is not None
+                else ""
+            )
+        )
+    ok = sum(
+        1
+        for p in doc["points"].values()
+        if p["verdict"] == VERDICT_SLO_OK
+    )
+    breach = len(doc["points"]) - ok
+    lines.append(
+        f"\nSLO verdict summary: {ok} SLO-OK, {breach} SLO-BREACH over "
+        f"{len(doc['points'])} points"
+    )
+    hedges = sum(p["hedges_issued"] for p in doc["points"].values())
+    redispatches = sum(
+        p["redispatches"] for p in doc["points"].values()
+    )
+    shed = sum(p["shed_requests"] for p in doc["points"].values())
+    opened = sum(p["breaker_opened"] for p in doc["points"].values())
+    lines.append(
+        f"resilience events: {redispatches} redispatches, "
+        f"{hedges} hedges, {shed} shed requests, "
+        f"{opened} breaker trips"
+    )
+    for verdict in doc.get("baseline_check", []):
+        lines.append(
+            f"baseline gate: {verdict['experiment']} "
+            f"({verdict['class']}) -> {verdict['verdict']}"
+        )
+    return "\n".join(lines)

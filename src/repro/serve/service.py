@@ -132,6 +132,11 @@ class RequestClass:
     security_bits: int = 109
     rate_qps: float = 1000.0
     ops_per_request: int = 64
+    #: Scheduling priority (higher = more important). The resilience
+    #: layer's load shedder drops the *lowest* priority classes first
+    #: when the SLO burn rate crosses its threshold; the plain
+    #: scheduler ignores it.
+    priority: int = 0
 
     def __post_init__(self):
         from repro.obs.registry import GRID_WORKLOADS
@@ -160,6 +165,7 @@ class RequestClass:
             "security_bits": self.security_bits,
             "rate_qps": self.rate_qps,
             "ops_per_request": self.ops_per_request,
+            "priority": self.priority,
         }
 
 
@@ -290,19 +296,15 @@ def _make_pricer(spec: ServeSpec):
     return pricer
 
 
-def simulate(spec: ServeSpec) -> ServeResult:
-    """Run one serving point end to end in modelled time.
+def _admitted_arrivals(spec: ServeSpec, trackers: dict, registry) -> dict:
+    """Noise-headroom admission over every class's arrival stream.
 
-    Deterministic: the same spec yields byte-identical timelines,
-    digest state, and document (modulo the run identity stamped into
-    the document).
+    Returns class key -> admitted arrival times; rejected arrivals are
+    charged to the class's tracker and counters. Shared by the plain
+    point simulation and the sharded resilience simulation so admission
+    semantics can never diverge between the two.
     """
-    config = UPMEMConfig()
-    plan = plan_for_healthy_fraction(spec.healthy, spec.seed, config)
     guard = HeadroomGuard(margin_bits=spec.margin_bits)
-    registry = get_registry()
-    trackers = {c.key: SLOTracker(spec.objectives) for c in spec.classes}
-
     class_arrivals: dict = {}
     for cls in spec.classes:
         params = BFVParameters.security_level(cls.security_bits)
@@ -323,6 +325,21 @@ def simulate(spec: ServeSpec) -> ServeResult:
                 admitted.append(t)
                 registry.counter(f"serve.requests.{cls.key}").inc()
         class_arrivals[cls.key] = admitted
+    return class_arrivals
+
+
+def simulate(spec: ServeSpec) -> ServeResult:
+    """Run one serving point end to end in modelled time.
+
+    Deterministic: the same spec yields byte-identical timelines,
+    digest state, and document (modulo the run identity stamped into
+    the document).
+    """
+    config = UPMEMConfig()
+    plan = plan_for_healthy_fraction(spec.healthy, spec.seed, config)
+    registry = get_registry()
+    trackers = {c.key: SLOTracker(spec.objectives) for c in spec.classes}
+    class_arrivals = _admitted_arrivals(spec, trackers, registry)
 
     scheduler = BatchScheduler(
         max_batch=spec.max_batch, max_wait_s=spec.max_wait_s

@@ -103,6 +103,8 @@ class TestExitDataConvention:
             (["perf", "html"], _RECORDED),
             (["faults", "html"], ("--sweep",)),
             (["serve", "html"], ("--sweep",)),
+            (["resil", "check"], _RECORDED),
+            (["resil", "html"], _RECORDED),
             (["grid", "status"], ("--db",)),
             (["why", "fig1a"], ("--against", "--history")),
             (["forensics", "html"], ("--run-a", "--run-b")),

@@ -541,3 +541,109 @@ class TestErrorTaxonomy:
         assert exc.context["bytes_needed"] > exc.context["bytes_available"]
         assert exc.context["kernel"] == "vec_add"
         assert "bytes_needed" in str(exc)
+
+
+class TestSurvivorIndex:
+    """O(1) shard/rank membership queries over the precomputed index."""
+
+    CONFIG = UPMEMConfig()
+
+    def plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=11,
+            dpu_fail_rate=0.05,
+            disabled_dpus=(3, 500),
+            disabled_ranks=(2,),
+            disable_dpus=7,
+        )
+
+    def test_queries_match_brute_force(self):
+        plan = self.plan()
+        disabled = plan.disabled_dpu_ids(self.CONFIG)
+        for dpu in (0, 3, 500, self.CONFIG.n_dpus - 1):
+            assert plan.is_disabled(self.CONFIG, dpu) == (dpu in disabled)
+        for start, stop in ((0, 64), (100, 1000), (0, self.CONFIG.n_dpus)):
+            brute = sum(1 for d in disabled if start <= d < stop)
+            assert plan.disabled_in_span(self.CONFIG, start, stop) == brute
+            assert plan.effective_in_span(self.CONFIG, start, stop) == (
+                (stop - start) - brute
+            )
+        for rank in range(self.CONFIG.n_ranks):
+            first = rank * self.CONFIG.dpus_per_rank
+            last = min(
+                first + self.CONFIG.dpus_per_rank, self.CONFIG.n_dpus
+            )
+            brute = sum(1 for d in disabled if first <= d < last)
+            assert plan.disabled_in_rank(self.CONFIG, rank) == brute
+
+    def test_same_seed_same_survivors_before_and_after_reset(self):
+        """Determinism regression: the disabled set is a pure function
+        of the plan spec — draw counters and reset() cannot move it."""
+        plan = self.plan()
+        before = plan.disabled_dpu_ids(self.CONFIG)
+        for _ in range(5):
+            plan.launch_outcome("vec_add")  # advance draw counters
+        assert plan.disabled_dpu_ids(self.CONFIG) == before
+        plan.reset()
+        assert plan.disabled_dpu_ids(self.CONFIG) == before
+        assert FaultPlan(
+            seed=11,
+            dpu_fail_rate=0.05,
+            disabled_dpus=(3, 500),
+            disabled_ranks=(2,),
+            disable_dpus=7,
+        ).disabled_dpu_ids(self.CONFIG) == before
+
+    def test_whole_fleet_span_equals_effective_dpus(self):
+        plan = self.plan()
+        assert plan.effective_in_span(
+            self.CONFIG, 0, self.CONFIG.n_dpus
+        ) == plan.effective_dpus(self.CONFIG)
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda p, c: p.is_disabled(c, c.n_dpus),
+            lambda p, c: p.disabled_in_span(c, -1, 4),
+            lambda p, c: p.disabled_in_span(c, 8, 4),
+            lambda p, c: p.disabled_in_rank(c, c.n_ranks),
+            lambda p, c: p.shard_view(c, 4, 4),
+            lambda p, c: p.shard_view(c, 0, c.n_dpus + 1),
+        ],
+    )
+    def test_out_of_range_queries_rejected(self, call):
+        with pytest.raises(ParameterError):
+            call(self.plan(), self.CONFIG)
+
+
+class TestShardView:
+    CONFIG = UPMEMConfig()
+
+    def test_disabled_ids_are_renumbered_shard_local(self):
+        plan = FaultPlan(disabled_dpus=(100, 150, 700))
+        view = plan.shard_view(self.CONFIG, 64, 640)
+        local = view.disabled_dpu_ids(
+            UPMEMConfig(n_dpus=640 - 64)
+        )
+        assert local == {100 - 64, 150 - 64}  # 700 is outside the span
+
+    def test_rates_carry_over_scripts_do_not(self):
+        plan = FaultPlan(
+            transient_rate=0.25,
+            stuck_rate=0.01,
+            corruption_rate=0.125,
+            launch_script=(OUTCOME_TRANSIENT,),
+        )
+        view = plan.shard_view(self.CONFIG, 0, 64)
+        assert view.transient_rate == 0.25
+        assert view.stuck_rate == 0.01
+        assert view.corruption_rate == 0.125
+        assert view.launch_script == ()
+
+    def test_sibling_shards_draw_independent_streams(self):
+        plan = FaultPlan(transient_rate=0.5)
+        a = plan.shard_view(self.CONFIG, 0, 64)
+        b = plan.shard_view(self.CONFIG, 64, 128)
+        assert a.seed != b.seed
+        # Deterministic: the same span always yields the same view.
+        assert plan.shard_view(self.CONFIG, 0, 64).seed == a.seed

@@ -1,0 +1,66 @@
+"""Capped exponential backoff: no overflow, exact below the cap."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.pim.faults import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+class TestBackoffCap:
+    def test_huge_failure_counts_do_not_overflow(self):
+        policy = RetryPolicy(backoff_base_s=1e-3, backoff_factor=2.0)
+        # 2 ** 9_999 would overflow a float; the cap saturates first.
+        assert policy.backoff_seconds(10_000) == policy.backoff_cap_s
+        assert policy.backoff_seconds(10**9) == policy.backoff_cap_s
+
+    def test_saturates_exactly_at_the_cap(self):
+        policy = RetryPolicy(
+            backoff_base_s=1e-3, backoff_factor=2.0, backoff_cap_s=8e-3
+        )
+        assert policy.backoff_seconds(4) == 8e-3  # 1e-3 * 2**3 == cap
+        assert policy.backoff_seconds(5) == 8e-3
+        assert policy.backoff_seconds(100) == 8e-3
+
+    def test_below_cap_matches_the_closed_form_bitwise(self):
+        # The fault layer's modelled times are bit-locked by the perf
+        # baseline; capping must not perturb small failure counts.
+        policy = DEFAULT_RETRY_POLICY
+        for failures in range(1, policy.max_attempts + 1):
+            expected = policy.backoff_base_s * policy.backoff_factor ** (
+                failures - 1
+            )
+            if expected <= policy.backoff_cap_s:
+                assert policy.backoff_seconds(failures) == expected
+
+    def test_monotone_non_decreasing(self):
+        policy = RetryPolicy(
+            backoff_base_s=5e-4, backoff_factor=3.0, backoff_cap_s=0.25
+        )
+        values = [policy.backoff_seconds(n) for n in range(1, 40)]
+        assert values == sorted(values)
+        assert values[-1] == 0.25
+
+    def test_factor_one_never_saturates_above_base(self):
+        policy = RetryPolicy(
+            backoff_base_s=2e-3, backoff_factor=1.0, backoff_cap_s=1.0
+        )
+        assert policy.backoff_seconds(10_000) == 2e-3
+
+    def test_zero_base_or_cap_is_zero(self):
+        assert (
+            RetryPolicy(backoff_base_s=0.0).backoff_seconds(10**6) == 0.0
+        )
+        policy = RetryPolicy(
+            backoff_base_s=1e-3, backoff_factor=2.0, backoff_cap_s=0.0
+        )
+        assert policy.backoff_seconds(10**6) == 0.0
+
+    def test_cap_tighter_than_base_clamps_immediately(self):
+        policy = RetryPolicy(
+            backoff_base_s=1e-2, backoff_factor=2.0, backoff_cap_s=1e-3
+        )
+        assert policy.backoff_seconds(1) == 1e-3
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(backoff_cap_s=-1.0)

@@ -1,0 +1,101 @@
+"""End-to-end ``repro resil`` subcommands, in-process."""
+
+import json
+
+from repro.harness.cli import EXIT_DATA, main
+
+#: A tiny grid so the full record → check → html cycle stays fast.
+_GRID = [
+    "--seeds",
+    "1",
+    "--shards",
+    "1",
+    "2",
+    "--qps",
+    "2000",
+    "--duration",
+    "0.05",
+    "--skip-baseline",
+]
+
+
+def _paths(tmp_path) -> list:
+    return [
+        "--baseline",
+        str(tmp_path / "resilience.json"),
+        "--history",
+        str(tmp_path / "resilience-history.jsonl"),
+    ]
+
+
+class TestResilCycle:
+    def test_record_check_html_round_trip(self, tmp_path, capsys):
+        status = main(["resil", "record"] + _GRID + _paths(tmp_path))
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "capacity under one dead shard" in out
+        assert "baseline written" in out
+
+        doc = json.loads((tmp_path / "resilience.json").read_text())
+        assert doc["kind"] == "resilience-baseline"
+        assert len(doc["points"]) == 4  # 1 seed × 2 K × 2 fleets × 1 qps
+
+        status = main(["resil", "check"] + _GRID + _paths(tmp_path))
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 RESILIENCE-DRIFT" in out
+
+        html_path = tmp_path / "dash.html"
+        status = main(
+            ["resil", "html"]
+            + _GRID
+            + _paths(tmp_path)
+            + ["-o", str(html_path)]
+        )
+        capsys.readouterr()
+        assert status == 0
+        page = html_path.read_text()
+        assert "Capacity under one dead shard" in page
+        assert "shard health" in page
+        assert "RESILIENCE gate" in page
+
+    def test_doctored_baseline_fails_the_check(self, tmp_path, capsys):
+        assert (
+            main(["resil", "record"] + _GRID + _paths(tmp_path)) == 0
+        )
+        capsys.readouterr()
+        path = tmp_path / "resilience.json"
+        doc = json.loads(path.read_text())
+        label = sorted(doc["points"])[0]
+        doc["points"][label]["completed"] += 1
+        path.write_text(json.dumps(doc))
+
+        status = main(["resil", "check"] + _GRID + _paths(tmp_path))
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "RESILIENCE-DRIFT" in out
+
+        # --update adopts the current run and the gate passes again.
+        status = main(
+            ["resil", "check", "--update"] + _GRID + _paths(tmp_path)
+        )
+        capsys.readouterr()
+        assert status == 0
+        assert (
+            main(["resil", "check"] + _GRID + _paths(tmp_path)) == 0
+        )
+        capsys.readouterr()
+
+
+class TestResilNoData:
+    def test_check_without_baseline_exits_data(self, tmp_path, capsys):
+        status = main(["resil", "check"] + _paths(tmp_path))
+        err = capsys.readouterr().err
+        assert status == EXIT_DATA
+        assert "repro resil record" in err
+
+    def test_html_without_data_exits_data(self, tmp_path, capsys):
+        status = main(["resil", "html"] + _paths(tmp_path))
+        err = capsys.readouterr().err
+        assert status == EXIT_DATA
+        assert "repro resil record" in err

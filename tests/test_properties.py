@@ -224,3 +224,112 @@ class TestKernelExecutionInvariance:
         ]
         assert batch_out == single_out
         assert batch_tally.as_dict() == single_tally.as_dict()
+
+
+class TestShardedResilienceProperties:
+    """PR 10 invariants: sharding re-routes work, never loses it."""
+
+    @given(n_shards=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_every_layout_partitions_the_fleet(self, n_shards):
+        from repro.pim.config import UPMEMConfig
+        from repro.serve.shard import make_layout
+
+        config = UPMEMConfig()
+        layout = make_layout(n_shards, config)
+        covered = []
+        for shard in range(layout.n_shards):
+            start, stop = layout.span_of(shard)
+            covered.extend(range(start, stop))
+        assert covered == list(range(config.n_dpus))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_shards=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_sharded_redispatch_conserves_work(self, seed, n_shards):
+        """Whatever shard a batch lands on — home, rerouted, hedged —
+        every admitted request is accounted exactly once."""
+        from repro.pim.config import UPMEMConfig
+        from repro.pim.faults import FaultPlan
+        from repro.serve.resilience import (
+            ResilienceSpec,
+            simulate_resilient,
+        )
+        from repro.serve.service import RequestClass, ServeSpec
+        from repro.serve.shard import make_layout
+
+        layout = make_layout(max(n_shards, 2), UPMEMConfig())
+        victim_ranks = layout.ranks_of(seed % layout.n_shards)
+        result = simulate_resilient(
+            ResilienceSpec(
+                serve=ServeSpec(
+                    classes=(
+                        RequestClass(security_bits=54, rate_qps=2000.0),
+                    ),
+                    duration_s=0.1,
+                    seed=seed,
+                ),
+                n_shards=n_shards,
+                plan=FaultPlan(disabled_ranks=victim_ranks),
+                hedge_after_s=1e-3,
+            )
+        )
+        reports = result.reports.values()
+        completed = sum(r["completed"] for r in reports)
+        rejected = sum(r["rejected"] for r in reports)
+        assert completed + rejected == (
+            result.doc["resilience"]["offered_requests"]
+        )
+        assert len(result.timelines) == completed
+        winner_members = sum(
+            launch.batch_size
+            for launch in result.launches
+            if not launch.hedged or launch.hedge_winner
+        )
+        assert winner_members == completed
+        assert sum(s["launches"] for s in result.doc["shards"]) == len(
+            result.launches
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_latency_monotone_as_shards_are_disabled(self, seed):
+        """Extending PR 5's invariant to the fleet level: killing more
+        shards never makes aggregate modelled latency decrease."""
+        from repro.pim.config import UPMEMConfig
+        from repro.pim.faults import FaultPlan
+        from repro.serve.resilience import (
+            ResilienceSpec,
+            simulate_resilient,
+        )
+        from repro.serve.service import RequestClass, ServeSpec
+        from repro.serve.shard import make_layout
+
+        layout = make_layout(4, UPMEMConfig())
+        spec = ServeSpec(
+            classes=(RequestClass(security_bits=54, rate_qps=48000.0),),
+            duration_s=0.05,
+            seed=seed,
+        )
+        means = []
+        dead: tuple = ()
+        # Kill full-size shards (1, then 2) so rerouted traffic never
+        # lands on a *larger* shard than its home: shard 3 is the
+        # partial-rank shard (604 DPUs), and a batch rehomed from it to
+        # a 640-DPU shard would price marginally faster.
+        for extra in (None, 1, 2):
+            if extra is not None:
+                dead = dead + layout.ranks_of(extra)
+            result = simulate_resilient(
+                ResilienceSpec(
+                    serve=spec,
+                    n_shards=4,
+                    plan=FaultPlan(disabled_ranks=dead),
+                )
+            )
+            report = list(result.reports.values())[0]
+            assert report["completed"] == len(result.timelines)
+            means.append(report["latency"]["mean_ms"])
+        assert means == sorted(means)
